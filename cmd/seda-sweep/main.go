@@ -1,0 +1,122 @@
+// Command seda-sweep regenerates the paper's evaluation figures:
+// Fig. 5 (normalized memory traffic) and Fig. 6 (normalized
+// performance) for the 13-workload benchmark suite on the server and
+// edge NPUs, plus the Fig. 1(d) motivation data and Table III.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/memprot"
+	"repro/seda"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 1d, 5a, 5b, 6a, 6b, all")
+	table3 := flag.Bool("table3", false, "print Table III (scheme feature comparison) and exit")
+	flag.Parse()
+
+	if *table3 {
+		printTable3()
+		return
+	}
+
+	server := seda.ServerNPU()
+	edge := seda.EdgeNPU()
+
+	needServer := *fig == "all" || *fig == "5a" || *fig == "6a" || *fig == "1d"
+	needEdge := *fig == "all" || *fig == "5b" || *fig == "6b"
+
+	var srv, edg *seda.SuiteResult
+	var err error
+	if needServer {
+		if srv, err = seda.RunSuite(server); err != nil {
+			fatal(err)
+		}
+	}
+	if needEdge {
+		if edg, err = seda.RunSuite(edge); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch *fig {
+	case "1d":
+		printFig1d(srv)
+	case "5a":
+		srv.WriteTrafficTable(os.Stdout)
+	case "5b":
+		edg.WriteTrafficTable(os.Stdout)
+	case "6a":
+		srv.WritePerfTable(os.Stdout)
+	case "6b":
+		edg.WritePerfTable(os.Stdout)
+	case "all":
+		printFig1d(srv)
+		fmt.Println()
+		srv.WriteTrafficTable(os.Stdout)
+		fmt.Println()
+		edg.WriteTrafficTable(os.Stdout)
+		fmt.Println()
+		srv.WritePerfTable(os.Stdout)
+		fmt.Println()
+		edg.WritePerfTable(os.Stdout)
+		fmt.Printf("\nHeadline: SeDA reduces avg performance overhead vs SGX-64B by %.2f%% (server), %.2f%% (edge)\n",
+			srv.HeadlineImprovement(), edg.HeadlineImprovement())
+	default:
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+// printFig1d reproduces the motivation figure: memory-access overhead
+// (traffic and execution time) of a typical secure accelerator
+// (SGX-64B) per workload.
+func printFig1d(s *seda.SuiteResult) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fig. 1(d) — memory access overhead of a typical secure accelerator (SGX-64B, server NPU)")
+	fmt.Fprintln(w, "workload\ttraffic overhead(%)\texec. time overhead(%)")
+	var tSum, eSum float64
+	names := s.Workloads()
+	for _, name := range names {
+		r, err := seda.SchemeRow(s.Rows[name], memprot.SchemeSGX64)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\n", name, r.TrafficOverhead()*100, r.PerfOverhead()*100)
+		tSum += r.TrafficOverhead()
+		eSum += r.PerfOverhead()
+	}
+	fmt.Fprintf(w, "avg\t%.2f\t%.2f\n", tSum/float64(len(names))*100, eSum/float64(len(names))*100)
+	w.Flush() //nolint:errcheck
+}
+
+func printTable3() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table III — comparison of memory protection schemes")
+	fmt.Fprintln(w, "scheme\tencryption\tintegrity\toff-chip metadata\ttiling-aware\tscalable-encryption")
+	for _, s := range seda.Schemes() {
+		if s.Kind == memprot.Baseline {
+			continue
+		}
+		f := s.FeatureRow()
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.Name(), f.EncryptionGranularity, f.IntegrityGranularity,
+			f.OffChipMetadata, check(f.TilingAware), check(f.EncryptionScalable))
+	}
+	w.Flush() //nolint:errcheck
+}
+
+func check(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seda-sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Package repro reproduces "SeDA: Secure and Efficient DNN
+// Accelerators with Hardware/Software Synergy" (DAC 2025).
+//
+// The public API lives in repro/seda (experiment pipeline and NPU
+// configurations). The substrates are internal packages:
+//
+//	internal/aesx      AES-128/192/256 + CTR + bandwidth-aware OTPs (B-AES)
+//	internal/sha256x   SHA-256, HMAC, truncated block MACs
+//	internal/xormac    XOR-MAC aggregation, layer & model MACs
+//	internal/merkle    Merkle and Bonsai-Merkle integrity trees
+//	internal/cache     set-associative LRU metadata-cache simulator
+//	internal/trace     DRAM access-trace representation
+//	internal/dram      multi-channel DDR timing simulator
+//	internal/model     DNN layer tables for the 13 benchmark workloads
+//	internal/scalesim  systolic-array timing + tiling + trace generation
+//	internal/tiling    protection-block alignment & over-fetch analysis
+//	internal/authblock SecureLoop-style optBlk search
+//	internal/memprot   SGX/MGX/SeDA protection schemes as trace transformers
+//	internal/hwmodel   28nm T-AES vs B-AES area/power model
+//	internal/attack    SECA and RePA attacks + defenses
+//	internal/core      functional SeDA protection unit (Crypt+Integ engines)
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+package repro

@@ -1,0 +1,105 @@
+// Attack demo: mount the paper's two attacks against the functional
+// protection unit and show SeDA detecting or neutralizing both.
+//
+// Unlike cmd/seda-attack (which exercises the primitive-level attack
+// algebra), this example drives the attacks through the full
+// protection-unit API: the attacker manipulates untrusted memory and
+// the unit's verified reads respond.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/aesx"
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+func main() {
+	secaAgainstUnit()
+	repaAgainstUnit()
+	replayAgainstUnit()
+}
+
+// secaAgainstUnit shows that ciphertext produced by the unit's B-AES
+// crypt engine does not fall to single-element collision analysis.
+func secaAgainstUnit() {
+	fmt.Println("== SECA against the protection unit's ciphertext ==")
+	mem := core.NewMemory()
+	unit, err := core.NewUnit([]byte("0123456789abcdef"), []byte("mac-key"), mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := core.FmapID{Layer: 1, Fmap: 0}
+	sparse := attack.SparseTensor(4096, 73, 5) // post-ReLU-like zeros
+	if err := unit.WriteFmap(id, 0x2000, sparse, 512); err != nil {
+		log.Fatal(err)
+	}
+
+	ct := mem.Snapshot(0x2000, len(sparse))
+	var zeroGuess [16]byte
+	res := attack.RunSECA(ct, sparse, zeroGuess)
+	fmt.Printf("attacker recovered %d/%d segments -> %v\n\n",
+		res.SegmentsRecovered, res.TotalSegments, outcome(!res.Success()))
+}
+
+// repaAgainstUnit swaps two ciphertext blocks in untrusted memory and
+// shows the verified read rejecting the layer.
+func repaAgainstUnit() {
+	fmt.Println("== RePA against the protection unit's layer MAC ==")
+	mem := core.NewMemory()
+	unit, err := core.NewUnit([]byte("0123456789abcdef"), []byte("mac-key"), mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := core.FmapID{Layer: 2, Fmap: 0}
+	data := attack.SparseTensor(8*512, 61, 9)
+	if err := unit.WriteFmap(id, 0x8000, data, 512); err != nil {
+		log.Fatal(err)
+	}
+
+	mem.SwapRegions(0x8000+0*512, 0x8000+5*512, 512) // the re-permutation
+
+	_, err = unit.ReadFmap(id, 0x8000, len(data), 512)
+	fmt.Printf("verified read after block swap: err=%v -> %v\n\n",
+		err != nil, outcome(err != nil))
+}
+
+// replayAgainstUnit rolls a block back to a stale snapshot and shows
+// the version-number binding catching it.
+func replayAgainstUnit() {
+	fmt.Println("== Replay (rollback) against the protection unit ==")
+	mem := core.NewMemory()
+	unit, err := core.NewUnit([]byte("0123456789abcdef"), []byte("mac-key"), mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := core.FmapID{Layer: 3, Fmap: 0}
+
+	v1 := attack.SparseTensor(2048, 41, 1)
+	if err := unit.WriteFmap(id, 0x4000, v1, 512); err != nil {
+		log.Fatal(err)
+	}
+	stale := mem.Snapshot(0x4000, 512)
+
+	v2 := attack.SparseTensor(2048, 41, 2)
+	if err := unit.WriteFmap(id, 0x4000, v2, 512); err != nil {
+		log.Fatal(err)
+	}
+	mem.Replay(0x4000, stale) // roll first block back
+
+	_, err = unit.ReadFmap(id, 0x4000, len(v2), 512)
+	fmt.Printf("verified read after replay: err=%v -> %v\n",
+		err != nil, outcome(err != nil))
+
+	// The counter construction behind the detection:
+	_ = aesx.Counter{PA: 0x4000, VN: 2} // VN advanced; stale block was sealed under VN 1
+}
+
+func outcome(defended bool) string {
+	if defended {
+		return "SeDA defense holds"
+	}
+	return "ATTACK SUCCEEDED"
+}

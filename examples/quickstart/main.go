@@ -1,0 +1,67 @@
+// Quickstart: protect a tensor with the SeDA protection unit.
+//
+// Demonstrates the functional core end to end: write a feature map
+// through the Crypt Engine (bandwidth-aware AES-CTR) and Integ Engine
+// (position-bound optBlk MACs folded into an on-chip layer MAC), read
+// it back verified, then show that an attacker tampering with
+// untrusted memory is caught.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	mem := core.NewMemory()
+	unit, err := core.NewUnit(
+		[]byte("0123456789abcdef"), // AES-128 key
+		[]byte("integrity-mac-key"),
+		mem,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 4 KB activation tensor for layer 0, protected at a 512 B
+	// optBlk granularity.
+	id := core.FmapID{Layer: 0, Fmap: 0}
+	const addr, optBlk = 0x1000_0000, 512
+	tensor := make([]byte, 4096)
+	for i := range tensor {
+		tensor[i] = byte(i % 251)
+	}
+
+	if err := unit.WriteFmap(id, addr, tensor, optBlk); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote 4 KB tensor: ciphertext in untrusted memory, layer MAC on-chip")
+
+	// Off-chip memory holds only ciphertext.
+	ct := mem.Read(addr, len(tensor))
+	if bytes.Equal(ct, tensor) {
+		log.Fatal("plaintext leaked to off-chip memory!")
+	}
+	fmt.Println("off-chip bytes differ from plaintext (confidentiality)")
+
+	// Reading back verifies the layer MAC and decrypts.
+	got, err := unit.ReadFmap(id, addr, len(tensor), optBlk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, tensor) {
+		log.Fatal("round-trip mismatch")
+	}
+	fmt.Println("verified read returns the original tensor (integrity + decryption)")
+
+	// An attacker flips one bit in off-chip memory...
+	mem.Corrupt(addr+1234, 0x01)
+	if _, err := unit.ReadFmap(id, addr, len(tensor), optBlk); err != nil {
+		fmt.Println("tamper detected:", err)
+	} else {
+		log.Fatal("tamper NOT detected")
+	}
+}

@@ -1,0 +1,236 @@
+package aesx
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// FIPS-197 Appendix C example vectors.
+func TestEncryptFIPS197Vectors(t *testing.T) {
+	cases := []struct {
+		name, key, pt, ct string
+	}{
+		{
+			name: "AES-128",
+			key:  "000102030405060708090a0b0c0d0e0f",
+			pt:   "00112233445566778899aabbccddeeff",
+			ct:   "69c4e0d86a7b0430d8cdb78070b4c55a",
+		},
+		{
+			name: "AES-192",
+			key:  "000102030405060708090a0b0c0d0e0f1011121314151617",
+			pt:   "00112233445566778899aabbccddeeff",
+			ct:   "dda97ca4864cdfe06eaf70a0ec0d7191",
+		},
+		{
+			name: "AES-256",
+			key:  "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			pt:   "00112233445566778899aabbccddeeff",
+			ct:   "8ea2b7ca516745bfeafc49904b496089",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEngine(mustHex(t, tc.key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 16)
+			e.EncryptBlock(got, mustHex(t, tc.pt))
+			if want := mustHex(t, tc.ct); !bytes.Equal(got, want) {
+				t.Errorf("ciphertext = %x, want %x", got, want)
+			}
+			back := make([]byte, 16)
+			e.DecryptBlock(back, got)
+			if want := mustHex(t, tc.pt); !bytes.Equal(back, want) {
+				t.Errorf("decrypt = %x, want %x", back, want)
+			}
+		})
+	}
+}
+
+// FIPS-197 Appendix A.1 key expansion spot checks for AES-128.
+func TestKeyExpansionAES128(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	e, err := NewEngine(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds() != 10 {
+		t.Fatalf("rounds = %d, want 10", e.Rounds())
+	}
+	if e.NumRoundKeys() != 11 {
+		t.Fatalf("num round keys = %d, want 11", e.NumRoundKeys())
+	}
+	rk0 := e.RoundKey(0)
+	if !bytes.Equal(rk0[:], key) {
+		t.Errorf("round key 0 = %x, want original key %x", rk0, key)
+	}
+	// w40..w43 from FIPS-197 Appendix A.1.
+	wantLast := mustHex(t, "d014f9a8c9ee2589e13f0cc8b6630ca6")
+	rk10 := e.RoundKey(10)
+	if !bytes.Equal(rk10[:], wantLast) {
+		t.Errorf("round key 10 = %x, want %x", rk10, wantLast)
+	}
+}
+
+func TestKeyExpansionAES256SpotCheck(t *testing.T) {
+	// FIPS-197 Appendix A.3 key.
+	key := mustHex(t, "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+	e, err := NewEngine(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds() != 14 {
+		t.Fatalf("rounds = %d, want 14", e.Rounds())
+	}
+	// For AES-256 the first two round keys are the two halves of the
+	// cipher key (w0..w7 are copied verbatim).
+	rk0, rk1 := e.RoundKey(0), e.RoundKey(1)
+	if !bytes.Equal(rk0[:], key[:16]) {
+		t.Errorf("round key 0 = %x, want %x", rk0, key[:16])
+	}
+	if !bytes.Equal(rk1[:], key[16:]) {
+		t.Errorf("round key 1 = %x, want %x", rk1, key[16:])
+	}
+}
+
+func TestNewEngineRejectsBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 23, 25, 31, 33, 64} {
+		if _, err := NewEngine(make([]byte, n)); err == nil {
+			t.Errorf("NewEngine accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestRoundKeyPanicsOutOfRange(t *testing.T) {
+	e, _ := NewEngine(make([]byte, 16))
+	for _, i := range []int{-1, 11, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RoundKey(%d) did not panic", i)
+				}
+			}()
+			e.RoundKey(i)
+		}()
+	}
+}
+
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	for _, ks := range []int{16, 24, 32} {
+		ks := ks
+		f := func(key [32]byte, pt [16]byte) bool {
+			e, err := NewEngine(key[:ks])
+			if err != nil {
+				return false
+			}
+			ct := make([]byte, 16)
+			e.EncryptBlock(ct, pt[:])
+			back := make([]byte, 16)
+			e.DecryptBlock(back, ct)
+			return bytes.Equal(back, pt[:])
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("key size %d: %v", ks, err)
+		}
+	}
+}
+
+func TestEncryptBlockInPlace(t *testing.T) {
+	e, _ := NewEngine(mustHex(t, "000102030405060708090a0b0c0d0e0f"))
+	buf := mustHex(t, "00112233445566778899aabbccddeeff")
+	e.EncryptBlock(buf, buf)
+	if want := mustHex(t, "69c4e0d86a7b0430d8cdb78070b4c55a"); !bytes.Equal(buf, want) {
+		t.Errorf("in-place encrypt = %x, want %x", buf, want)
+	}
+}
+
+func TestEncryptBlockShortBufferPanics(t *testing.T) {
+	e, _ := NewEngine(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Error("EncryptBlock with short buffer did not panic")
+		}
+	}()
+	e.EncryptBlock(make([]byte, 8), make([]byte, 8))
+}
+
+func TestGF28Multiplication(t *testing.T) {
+	// Classic test values for GF(2^8) with the AES polynomial.
+	cases := []struct{ a, b, want byte }{
+		{0x57, 0x83, 0xc1},
+		{0x57, 0x13, 0xfe},
+		{0x01, 0xff, 0xff},
+		{0x00, 0x42, 0x00},
+		{0x02, 0x80, 0x1b},
+	}
+	for _, c := range cases {
+		if got := gmul(c.a, c.b); got != c.want {
+			t.Errorf("gmul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSboxInverseConsistency(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox[sbox[%#x]] = %#x", i, invSbox[sbox[i]])
+		}
+		if sbox[invSbox[i]] != byte(i) {
+			t.Fatalf("sbox[invSbox[%#x]] = %#x", i, sbox[invSbox[i]])
+		}
+	}
+}
+
+func TestMixColumnsInverse(t *testing.T) {
+	f := func(blk [16]byte) bool {
+		var s state
+		s.load(blk[:])
+		orig := s
+		s.mixColumns()
+		s.invMixColumns()
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRowsInverse(t *testing.T) {
+	f := func(blk [16]byte) bool {
+		var s state
+		s.load(blk[:])
+		orig := s
+		s.shiftRows()
+		s.invShiftRows()
+		return s == orig
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateLoadStoreRoundTrip(t *testing.T) {
+	f := func(blk [16]byte) bool {
+		var s state
+		s.load(blk[:])
+		out := make([]byte, 16)
+		s.store(out)
+		return bytes.Equal(out, blk[:])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

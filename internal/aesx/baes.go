@@ -1,0 +1,123 @@
+package aesx
+
+import "fmt"
+
+// BAES is SeDA's bandwidth-aware encryption unit (paper §III-B,
+// Fig. 3(a), Algorithm 1 "Defense of SECA").
+//
+// A single AES engine produces one base OTP per protection block:
+//
+//	OTP = AES-CTR_Ke(PA ‖ VN)
+//
+// and the Crypt Engine derives one distinct pad per 128-bit segment by
+// XORing the base OTP with the round keys k_i already available from
+// the engine's KeyExpansion module:
+//
+//	OTP_i = OTP ⊕ k_i
+//
+// Because each segment pad is distinct, a Single-Element Collision
+// Attack that recovers one pad learns nothing about the other segments,
+// while the hardware cost is a bank of XOR gates instead of N-1 extra
+// AES engines.
+//
+// When a protection block holds more segments than the schedule has
+// round keys (AES-128 yields 11), the unit extends the supply by
+// re-running KeyExpansion with the tweaked input key ⊕ (PA ‖ VN‖lane),
+// as described at the end of §III-B. The tweak includes a lane index so
+// that successive extensions are themselves distinct.
+type BAES struct {
+	engine *Engine
+	key    []byte // retained to derive extension schedules
+}
+
+// NewBAES builds a bandwidth-aware encryption unit around a single AES
+// engine keyed with key.
+func NewBAES(key []byte) (*BAES, error) {
+	e, err := NewEngine(key)
+	if err != nil {
+		return nil, err
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &BAES{engine: e, key: k}, nil
+}
+
+// Engine exposes the single underlying AES engine (e.g. for the
+// hardware cost model, which charges for exactly one).
+func (b *BAES) Engine() *Engine { return b.engine }
+
+// SegmentPads derives n distinct 16-byte pads for the protection block
+// identified by counter c. Pad i covers the block's i-th 128-bit
+// segment. The first NumRoundKeys pads come from the base OTP XORed
+// with round keys; beyond that, extension schedules are derived from
+// key ⊕ (PA ‖ VN ‖ lane).
+func (b *BAES) SegmentPads(c Counter, n int) [][16]byte {
+	if n < 0 {
+		panic(fmt.Sprintf("aesx: negative segment count %d", n))
+	}
+	pads := make([][16]byte, n)
+	base := b.engine.OTP(c)
+	nrk := b.engine.NumRoundKeys()
+	for i := 0; i < n && i < nrk; i++ {
+		rk := b.engine.RoundKey(i)
+		for j := 0; j < BlockSize; j++ {
+			pads[i][j] = base[j] ^ rk[j]
+		}
+	}
+	for lane := 0; nrk+lane*nrk < n; lane++ {
+		ext := b.extensionEngine(c, uint64(lane+1))
+		extBase := ext.OTP(c)
+		for i := 0; i < nrk; i++ {
+			idx := nrk + lane*nrk + i
+			if idx >= n {
+				break
+			}
+			rk := ext.RoundKey(i)
+			for j := 0; j < BlockSize; j++ {
+				pads[idx][j] = extBase[j] ^ rk[j]
+			}
+		}
+	}
+	return pads
+}
+
+// extensionEngine derives the lane-th extension key schedule by
+// tweaking the KeyExpansion input with the block's counter and the
+// lane index.
+func (b *BAES) extensionEngine(c Counter, lane uint64) *Engine {
+	tweaked := make([]byte, len(b.key))
+	copy(tweaked, b.key)
+	cb := Counter{PA: c.PA ^ lane, VN: c.VN + lane}.Bytes()
+	for i := 0; i < BlockSize && i < len(tweaked); i++ {
+		tweaked[i] ^= cb[i]
+	}
+	e, err := NewEngine(tweaked)
+	if err != nil {
+		// The tweaked key has the same length as the original, which
+		// was already validated; this cannot fail.
+		panic("aesx: extension engine construction failed: " + err.Error())
+	}
+	return e
+}
+
+// XORSegments encrypts or decrypts a protection block in place
+// semantics: dst[i] = src[i] ^ pad(segment(i)). The operation is an
+// involution, so the same call performs both directions (Eq. 1/2).
+// len(dst) must be >= len(src).
+func (b *BAES) XORSegments(dst, src []byte, c Counter) {
+	nseg := (len(src) + BlockSize - 1) / BlockSize
+	pads := b.SegmentPads(c, nseg)
+	for i := 0; i < len(src); i++ {
+		dst[i] = src[i] ^ pads[i/BlockSize][i%BlockSize]
+	}
+}
+
+// SharedPadXOR models the *insecure* strawman the paper attacks: every
+// 128-bit segment of the block reuses the single base OTP. It exists so
+// tests and the attack demo can show SECA succeeding against it.
+func (b *BAES) SharedPadXOR(dst, src []byte, c Counter) {
+	pad := b.engine.OTP(c)
+	for i := 0; i < len(src); i++ {
+		dst[i] = src[i] ^ pad[i%BlockSize]
+	}
+}

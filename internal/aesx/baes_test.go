@@ -1,0 +1,201 @@
+package aesx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestBAES(t *testing.T) *BAES {
+	t.Helper()
+	b, err := NewBAES([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCounterBytesLayout(t *testing.T) {
+	c := Counter{PA: 0x0102030405060708, VN: 0x1112131415161718}
+	b := c.Bytes()
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17, 0x18}
+	if !bytes.Equal(b[:], want) {
+		t.Errorf("counter bytes = %x, want %x", b, want)
+	}
+}
+
+func TestOTPDeterministicAndCounterSensitive(t *testing.T) {
+	b := newTestBAES(t)
+	c := Counter{PA: 0x1000, VN: 7}
+	o1 := b.Engine().OTP(c)
+	o2 := b.Engine().OTP(c)
+	if o1 != o2 {
+		t.Error("OTP not deterministic for identical counters")
+	}
+	if o3 := b.Engine().OTP(Counter{PA: 0x1000, VN: 8}); o3 == o1 {
+		t.Error("OTP unchanged when VN incremented")
+	}
+	if o4 := b.Engine().OTP(Counter{PA: 0x1040, VN: 7}); o4 == o1 {
+		t.Error("OTP unchanged when PA changed")
+	}
+}
+
+func TestSegmentPadsDistinct(t *testing.T) {
+	b := newTestBAES(t)
+	c := Counter{PA: 0xdead0000, VN: 42}
+	// Cover within-schedule (<=11), exactly at schedule, and extension
+	// lanes (e.g. a 512B block needs 32 pads).
+	for _, n := range []int{1, 2, 4, 11, 12, 22, 32, 64} {
+		pads := b.SegmentPads(c, n)
+		if len(pads) != n {
+			t.Fatalf("n=%d: got %d pads", n, len(pads))
+		}
+		seen := make(map[[16]byte]int, n)
+		for i, p := range pads {
+			if j, dup := seen[p]; dup {
+				t.Errorf("n=%d: pad %d duplicates pad %d (SECA defense broken)", n, i, j)
+			}
+			seen[p] = i
+		}
+	}
+}
+
+func TestSegmentPadsStablePrefix(t *testing.T) {
+	// Asking for more pads must not change earlier pads: hardware
+	// generates them in sequence.
+	b := newTestBAES(t)
+	c := Counter{PA: 0x40, VN: 1}
+	small := b.SegmentPads(c, 4)
+	large := b.SegmentPads(c, 40)
+	for i := range small {
+		if small[i] != large[i] {
+			t.Errorf("pad %d differs between n=4 and n=40 requests", i)
+		}
+	}
+}
+
+func TestXORSegmentsInvolution(t *testing.T) {
+	b := newTestBAES(t)
+	f := func(data []byte, pa, vn uint64) bool {
+		c := Counter{PA: pa, VN: vn}
+		ct := make([]byte, len(data))
+		b.XORSegments(ct, data, c)
+		back := make([]byte, len(data))
+		b.XORSegments(back, ct, c)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORSegmentsAt512BBlock(t *testing.T) {
+	b := newTestBAES(t)
+	c := Counter{PA: 0x200, VN: 3}
+	pt := make([]byte, 512)
+	for i := range pt {
+		pt[i] = byte(i * 31)
+	}
+	ct := make([]byte, 512)
+	b.XORSegments(ct, pt, c)
+	if bytes.Equal(ct, pt) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	back := make([]byte, 512)
+	b.XORSegments(back, ct, c)
+	if !bytes.Equal(back, pt) {
+		t.Fatal("512B round trip failed")
+	}
+}
+
+func TestXORSegmentsSegmentsUseDistinctPads(t *testing.T) {
+	// Encrypting all-zero plaintext exposes the raw pads in the
+	// ciphertext; any equal 16B segments would indicate pad reuse.
+	b := newTestBAES(t)
+	pt := make([]byte, 256)
+	ct := make([]byte, 256)
+	b.XORSegments(ct, pt, Counter{PA: 0x80, VN: 9})
+	for i := 0; i < len(ct); i += 16 {
+		for j := i + 16; j < len(ct); j += 16 {
+			if bytes.Equal(ct[i:i+16], ct[j:j+16]) {
+				t.Fatalf("segments %d and %d share a pad", i/16, j/16)
+			}
+		}
+	}
+}
+
+func TestSharedPadXORReusesPad(t *testing.T) {
+	// The insecure strawman must visibly reuse the pad (this is what
+	// SECA exploits).
+	b := newTestBAES(t)
+	pt := make([]byte, 64)
+	ct := make([]byte, 64)
+	b.SharedPadXOR(ct, pt, Counter{PA: 0, VN: 0})
+	for i := 16; i < 64; i += 16 {
+		if !bytes.Equal(ct[:16], ct[i:i+16]) {
+			t.Fatalf("segment %d does not reuse the shared pad", i/16)
+		}
+	}
+}
+
+func TestSharedPadXORInvolution(t *testing.T) {
+	b := newTestBAES(t)
+	f := func(data []byte, pa, vn uint64) bool {
+		c := Counter{PA: pa, VN: vn}
+		ct := make([]byte, len(data))
+		b.SharedPadXOR(ct, data, c)
+		back := make([]byte, len(data))
+		b.SharedPadXOR(back, ct, c)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORKeyStreamCTRRoundTrip(t *testing.T) {
+	e, err := NewEngine([]byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte, pa, vn uint64) bool {
+		c := Counter{PA: pa, VN: vn}
+		ct := make([]byte, len(data))
+		e.XORKeyStreamCTR(ct, data, c)
+		back := make([]byte, len(data))
+		e.XORKeyStreamCTR(back, ct, c)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBAESDifferentKeysDifferentPads(t *testing.T) {
+	b1, _ := NewBAES([]byte("0123456789abcdef"))
+	b2, _ := NewBAES([]byte("0123456789abcdeg"))
+	c := Counter{PA: 64, VN: 1}
+	p1 := b1.SegmentPads(c, 4)
+	p2 := b2.SegmentPads(c, 4)
+	for i := range p1 {
+		if p1[i] == p2[i] {
+			t.Errorf("pad %d identical under different keys", i)
+		}
+	}
+}
+
+func TestNewBAESRejectsBadKey(t *testing.T) {
+	if _, err := NewBAES(make([]byte, 13)); err == nil {
+		t.Error("NewBAES accepted 13-byte key")
+	}
+}
+
+func TestSegmentPadsNegativePanics(t *testing.T) {
+	b := newTestBAES(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("SegmentPads(-1) did not panic")
+		}
+	}()
+	b.SegmentPads(Counter{}, -1)
+}

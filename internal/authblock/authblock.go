@@ -1,0 +1,177 @@
+// Package authblock implements the SecureLoop-style authentication-
+// block search SeDA uses to pick optBlk, the optimal integrity-
+// verification granularity per layer (paper §III-C: "We use the
+// scheduling search strategy proposed in the SecureLoop [10] to obtain
+// the optimal authentication block (optBlk)").
+//
+// The search scores candidate block sizes against the layer's actual
+// access-run geometry (from the systolic-array schedule): a candidate
+// pays for
+//
+//   - metadata: one 8 B MAC fetch per protection block touched,
+//   - over-fetch: bytes decrypted/verified beyond the run (misaligned
+//     boundaries), and
+//   - read-modify-write: uncovered bytes of partially written blocks,
+//
+// and the candidate with the lowest total cost wins. Tile-aligned
+// candidates (the exact run length and its divisors) are searched in
+// addition to the conventional power-of-two sizes, which is how SeDA's
+// intra-layer awareness eliminates redundant verification entirely
+// when a divisor of the run length exists.
+package authblock
+
+import (
+	"sort"
+
+	"repro/internal/tiling"
+	"repro/internal/trace"
+)
+
+// MACBytes is the per-block metadata cost (64-bit MAC).
+const MACBytes = 8
+
+// MinBlock is the smallest protection unit the engine supports.
+const MinBlock = 64
+
+// MaxBlock caps the search; beyond this the SRAM staging cost of
+// whole-block verification outweighs metadata savings.
+const MaxBlock = 8192
+
+// Cost breaks down a candidate's score in bytes of induced traffic.
+type Cost struct {
+	Block     int
+	MACBytes  uint64 // metadata fetch/store traffic
+	OverFetch uint64 // misaligned read over-fetch
+	RMWBytes  uint64 // partial-write read-back
+}
+
+// Total returns the summed cost.
+func (c Cost) Total() uint64 { return c.MACBytes + c.OverFetch + c.RMWBytes }
+
+// Evaluate scores one candidate block size against a set of access
+// runs.
+func Evaluate(runs []trace.Access, block int) Cost {
+	c := Cost{Block: block}
+	b := uint64(block)
+	for _, a := range runs {
+		n := uint64(a.Bytes)
+		c.MACBytes += tiling.BlocksTouched(a.Addr, n, b) * MACBytes
+		if a.Kind == trace.Read {
+			c.OverFetch += tiling.ReadOverFetch(a.Addr, n, b)
+		} else {
+			c.RMWBytes += tiling.WriteRMWBytes(a.Addr, n, b)
+		}
+	}
+	return c
+}
+
+// Candidates returns the block sizes the search considers for the
+// given run lengths: powers of two from MinBlock to MaxBlock plus
+// every divisor of each distinct run length within [MinBlock,
+// MaxBlock] (the tile-aligned candidates).
+func Candidates(runLens []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(b int) {
+		if b >= MinBlock && b <= MaxBlock && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	for b := MinBlock; b <= MaxBlock; b *= 2 {
+		add(b)
+	}
+	for _, n := range runLens {
+		if n <= 0 {
+			continue
+		}
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 {
+				add(d)
+				add(n / d)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Result is the chosen optBlk for a layer plus the scores of every
+// candidate (kept for ablation benches).
+type Result struct {
+	Best   Cost
+	Scores []Cost
+}
+
+// Weights scales the cost components for the scenario at hand. The
+// default weighs everything equally (optBlk MACs stored off-chip);
+// SeDA's multi-level mechanism aggregates optBlk MACs on-chip, so its
+// search zeroes the MAC-traffic weight and optimizes pure alignment.
+type Weights struct {
+	MAC       float64
+	OverFetch float64
+	RMW       float64
+}
+
+// DefaultWeights is the off-chip-MAC scenario.
+func DefaultWeights() Weights { return Weights{MAC: 1, OverFetch: 1, RMW: 1} }
+
+// OnChipMACWeights is SeDA's scenario: per-block MACs cost no traffic,
+// only misalignment does.
+func OnChipMACWeights() Weights { return Weights{MAC: 0, OverFetch: 1, RMW: 1} }
+
+func (w Weights) score(c Cost) float64 {
+	return w.MAC*float64(c.MACBytes) + w.OverFetch*float64(c.OverFetch) + w.RMW*float64(c.RMWBytes)
+}
+
+// Search picks the optBlk for a layer given its access runs, with the
+// default (off-chip MAC) cost weights. With no runs it falls back to
+// MinBlock.
+func Search(runs []trace.Access) Result {
+	return SearchWeighted(runs, DefaultWeights())
+}
+
+// SearchWeighted picks the optBlk under explicit cost weights. Ties
+// prefer the larger block (fewer MACs to compute on-chip).
+func SearchWeighted(runs []trace.Access, w Weights) Result {
+	if len(runs) == 0 {
+		return Result{Best: Cost{Block: MinBlock}}
+	}
+	lens := make([]int, 0, 8)
+	distinct := map[int]bool{}
+	for _, a := range runs {
+		if n := int(a.Bytes); !distinct[n] {
+			distinct[n] = true
+			lens = append(lens, n)
+		}
+	}
+	cands := Candidates(lens)
+	res := Result{}
+	bestScore := 0.0
+	for _, b := range cands {
+		c := Evaluate(runs, b)
+		res.Scores = append(res.Scores, c)
+		s := w.score(c)
+		if res.Best.Block == 0 || s < bestScore ||
+			(s == bestScore && c.Block > res.Best.Block) {
+			res.Best = c
+			bestScore = s
+		}
+	}
+	if res.Best.Block == 0 {
+		res.Best = Cost{Block: MinBlock}
+	}
+	return res
+}
+
+// SearchLayer runs the search over a layer's data accesses only
+// (metadata accesses are a scheme artifact, not schedule geometry).
+func SearchLayer(t *trace.Trace) Result {
+	runs := make([]trace.Access, 0, len(t.Accesses))
+	for _, a := range t.Accesses {
+		if a.Class == trace.Data {
+			runs = append(runs, a)
+		}
+	}
+	return Search(runs)
+}

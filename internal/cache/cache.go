@@ -1,0 +1,172 @@
+// Package cache provides a set-associative, write-back, write-allocate
+// cache simulator with LRU replacement. The memory-protection
+// simulator uses two instances per SGX-class protection unit — a 16 KB
+// version-number cache and an 8 KB MAC cache (paper §IV-A) — to filter
+// security-metadata accesses before they become off-chip DRAM traffic.
+//
+// The simulator is purely a hit/miss/writeback accounting model: it
+// tracks tags, dirty bits and recency, not data contents (metadata
+// values live in the protection unit's functional model).
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line (block) size
+	Ways      int // associativity
+}
+
+// Validate checks the geometry for consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	return nil
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions (each costs one line write to DRAM)
+	Fills      uint64 // line fills (each costs one line read from DRAM)
+}
+
+// Accesses returns the total number of lookups.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns hits / accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses() == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses())
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a set-associative LRU cache simulator.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets int
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without flushing contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Result reports what a single access did.
+type Result struct {
+	Hit       bool
+	Fill      bool // line was fetched from DRAM
+	Writeback bool // a dirty victim was written back to DRAM
+}
+
+// Access performs one cache access at byte address addr. write marks
+// the line dirty (write-allocate: a write miss fills the line first).
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.tick++
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	set := int(lineAddr % uint64(c.nsets))
+	tag := lineAddr / uint64(c.nsets)
+
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: pick an invalid way or the LRU victim.
+	c.stats.Misses++
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{Fill: true}
+	if ways[victim].valid && ways[victim].dirty {
+		res.Writeback = true
+		c.stats.Writebacks++
+	}
+	c.stats.Fills++
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return res
+}
+
+// Flush writes back all dirty lines and invalidates the cache,
+// returning the number of writebacks performed. Used at layer/model
+// boundaries when the protection unit drains its metadata state.
+func (c *Cache) Flush() uint64 {
+	var wb uint64
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid && c.sets[s][w].dirty {
+				wb++
+				c.stats.Writebacks++
+			}
+			c.sets[s][w] = line{}
+		}
+	}
+	return wb
+}
+
+// Contains reports whether addr's line is currently cached (without
+// perturbing LRU state or statistics).
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr / uint64(c.cfg.LineBytes)
+	set := int(lineAddr % uint64(c.nsets))
+	tag := lineAddr / uint64(c.nsets)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}

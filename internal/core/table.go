@@ -1,0 +1,39 @@
+package core
+
+// GranularityRow is one row of the paper's Table I, comparing the
+// three MAC granularities of the multi-level integrity verification
+// mechanism.
+type GranularityRow struct {
+	Granularity   string
+	Flexibility   string // how well it tracks tile geometry
+	OffChipAccess string // metadata traffic it induces
+	Overhead      string // verification-delay cost
+	Storage       string // where the MAC lives
+}
+
+// GranularityTable returns Table I.
+func GranularityTable() []GranularityRow {
+	return []GranularityRow{
+		{
+			Granularity:   "optBlk",
+			Flexibility:   "high (tile-aligned, avoids redundant checks)",
+			OffChipAccess: "high if stored off-chip (one MAC per block)",
+			Overhead:      "low (verify as blocks arrive)",
+			Storage:       "off-chip",
+		},
+		{
+			Granularity:   "layer",
+			Flexibility:   "medium (one aggregate per layer)",
+			OffChipAccess: "minimal (one MAC line per layer)",
+			Overhead:      "medium (verdict at layer boundary)",
+			Storage:       "off/on-chip",
+		},
+		{
+			Granularity:   "model",
+			Flexibility:   "low (one aggregate for all weights)",
+			OffChipAccess: "none",
+			Overhead:      "high (verdict at end of inference)",
+			Storage:       "on-chip",
+		},
+	}
+}

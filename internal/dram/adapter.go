@@ -1,0 +1,17 @@
+package dram
+
+import "repro/internal/trace"
+
+// RunTrace drains a trace.Trace through the memory system.
+func (s *Simulator) RunTrace(t *trace.Trace) Stats {
+	views := make([]accessView, len(t.Accesses))
+	for i, a := range t.Accesses {
+		views[i] = accessView{
+			cycle: a.Cycle,
+			addr:  a.Addr,
+			bytes: a.Bytes,
+			write: a.Kind == trace.Write,
+		}
+	}
+	return s.Run(views)
+}

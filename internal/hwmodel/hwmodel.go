@@ -1,0 +1,91 @@
+// Package hwmodel estimates the silicon cost of the encryption
+// datapath at 28 nm, reproducing the paper's Fig. 4 comparison between
+// T-AES (the traditional approach: one full AES engine per unit of
+// required bandwidth) and B-AES (SeDA's bandwidth-aware approach: one
+// AES engine plus a bank of 128-bit XOR gates per additional unit).
+//
+// The absolute constants are calibrated from the 28 nm AES-128
+// implementation in Banerjee's MIT dissertation [22] (the paper's
+// cited source): a single round-based AES-128 engine occupies several
+// thousand µm² and dissipates a few mW at the throughput a 16 B/cycle
+// protection unit needs. Only the *scaling shape* matters for the
+// figure — T-AES grows by a whole engine per bandwidth step while
+// B-AES grows by a wire-dominated XOR bank — and that shape is
+// preserved for any constants in the plausible range.
+package hwmodel
+
+import "fmt"
+
+// Tech28nm holds the calibrated 28 nm cost constants.
+type Tech28nm struct {
+	// EngineAreaUm2 is one AES-128 engine (S-boxes, MixColumns,
+	// KeyExpansion, control).
+	EngineAreaUm2 float64
+	// EnginePowerUw is one engine's power at nominal throughput.
+	EnginePowerUw float64
+	// XORBankAreaUm2 is one 128-bit XOR bank plus pad-select control
+	// (the per-step increment of B-AES).
+	XORBankAreaUm2 float64
+	// XORBankPowerUw is the XOR bank's switching power.
+	XORBankPowerUw float64
+}
+
+// Default28nm returns the calibrated constants.
+func Default28nm() Tech28nm {
+	return Tech28nm{
+		EngineAreaUm2:  5600,
+		EnginePowerUw:  2900,
+		XORBankAreaUm2: 190,
+		XORBankPowerUw: 55,
+	}
+}
+
+// Point is one (bandwidth multiple, area, power) sample.
+type Point struct {
+	BandwidthX int // required bandwidth as a multiple of one engine's
+	AreaUm2    float64
+	PowerUw    float64
+}
+
+// TAES returns the traditional design's cost at bandwidth multiple n:
+// n parallel AES engines (Fig. 2(c)).
+func (t Tech28nm) TAES(n int) Point {
+	if n < 1 {
+		panic(fmt.Sprintf("hwmodel: bandwidth multiple %d < 1", n))
+	}
+	return Point{
+		BandwidthX: n,
+		AreaUm2:    float64(n) * t.EngineAreaUm2,
+		PowerUw:    float64(n) * t.EnginePowerUw,
+	}
+}
+
+// BAES returns SeDA's bandwidth-aware design cost at bandwidth
+// multiple n: one AES engine plus n−1 XOR banks deriving the extra
+// pads from the KeyExpansion round keys (Fig. 3(a)).
+func (t Tech28nm) BAES(n int) Point {
+	if n < 1 {
+		panic(fmt.Sprintf("hwmodel: bandwidth multiple %d < 1", n))
+	}
+	return Point{
+		BandwidthX: n,
+		AreaUm2:    t.EngineAreaUm2 + float64(n-1)*t.XORBankAreaUm2,
+		PowerUw:    t.EnginePowerUw + float64(n-1)*t.XORBankPowerUw,
+	}
+}
+
+// Sweep produces the Fig. 4 series for bandwidth multiples 1..maxX.
+func (t Tech28nm) Sweep(maxX int) (taes, baes []Point) {
+	for n := 1; n <= maxX; n++ {
+		taes = append(taes, t.TAES(n))
+		baes = append(baes, t.BAES(n))
+	}
+	return taes, baes
+}
+
+// SavingsAt returns the area and power ratios T-AES/B-AES at
+// bandwidth multiple n — the headline scalability claim.
+func (t Tech28nm) SavingsAt(n int) (areaRatio, powerRatio float64) {
+	ta, ba := t.TAES(n), t.BAES(n)
+	return ta.AreaUm2 / ba.AreaUm2, ta.PowerUw / ba.PowerUw
+}

@@ -1,0 +1,101 @@
+package hwmodel
+
+import "testing"
+
+func TestBaseCaseEqual(t *testing.T) {
+	// At 1x bandwidth both designs are a single engine.
+	h := Default28nm()
+	ta, ba := h.TAES(1), h.BAES(1)
+	if ta.AreaUm2 != ba.AreaUm2 || ta.PowerUw != ba.PowerUw {
+		t.Errorf("1x costs differ: T-AES %+v, B-AES %+v", ta, ba)
+	}
+}
+
+func TestTAESLinearScaling(t *testing.T) {
+	h := Default28nm()
+	for n := 2; n <= 8; n++ {
+		p := h.TAES(n)
+		if p.AreaUm2 != float64(n)*h.EngineAreaUm2 {
+			t.Errorf("T-AES(%d) area = %v", n, p.AreaUm2)
+		}
+		if p.PowerUw != float64(n)*h.EnginePowerUw {
+			t.Errorf("T-AES(%d) power = %v", n, p.PowerUw)
+		}
+	}
+}
+
+func TestBAESNearFlatScaling(t *testing.T) {
+	// Fig. 4's claim: B-AES grows by far less than an engine per step.
+	h := Default28nm()
+	p1 := h.BAES(1)
+	p8 := h.BAES(8)
+	growth := p8.AreaUm2 - p1.AreaUm2
+	if growth >= h.EngineAreaUm2 {
+		t.Errorf("B-AES 1->8 area growth %v >= one engine %v", growth, h.EngineAreaUm2)
+	}
+	// Total growth across 7 steps should stay under half an engine.
+	if growth > h.EngineAreaUm2/2 {
+		t.Errorf("B-AES growth %v > half an engine", growth)
+	}
+}
+
+func TestSavingsIncreaseWithBandwidth(t *testing.T) {
+	h := Default28nm()
+	prevA, prevP := 0.0, 0.0
+	for n := 1; n <= 8; n++ {
+		a, p := h.SavingsAt(n)
+		if a < prevA || p < prevP {
+			t.Errorf("savings not monotone at %dx: area %v power %v", n, a, p)
+		}
+		prevA, prevP = a, p
+	}
+	// At 8x the paper's figure shows a multi-x gap.
+	a8, p8 := h.SavingsAt(8)
+	if a8 < 4 {
+		t.Errorf("area savings at 8x = %.2f, want >= 4x", a8)
+	}
+	if p8 < 4 {
+		t.Errorf("power savings at 8x = %.2f, want >= 4x", p8)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	h := Default28nm()
+	taes, baes := h.Sweep(8)
+	if len(taes) != 8 || len(baes) != 8 {
+		t.Fatalf("sweep lengths %d/%d", len(taes), len(baes))
+	}
+	for i := range taes {
+		if taes[i].BandwidthX != i+1 || baes[i].BandwidthX != i+1 {
+			t.Errorf("point %d bandwidth labels wrong", i)
+		}
+		if i > 0 {
+			if taes[i].AreaUm2 <= taes[i-1].AreaUm2 {
+				t.Error("T-AES area not increasing")
+			}
+			if baes[i].AreaUm2 <= baes[i-1].AreaUm2 {
+				t.Error("B-AES area not increasing")
+			}
+		}
+		if baes[i].AreaUm2 > taes[i].AreaUm2 {
+			t.Errorf("B-AES costs more area than T-AES at %dx", i+1)
+		}
+	}
+}
+
+func TestPanicsOnBadMultiple(t *testing.T) {
+	h := Default28nm()
+	for _, f := range []func(){
+		func() { h.TAES(0) },
+		func() { h.BAES(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for bad bandwidth multiple")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,403 @@
+package memprot
+
+import (
+	"fmt"
+
+	"repro/internal/authblock"
+	"repro/internal/cache"
+	"repro/internal/scalesim"
+	"repro/internal/tiling"
+	"repro/internal/trace"
+)
+
+// Protect runs a scheme over a simulated network and returns the
+// augmented per-layer traces and overhead accounting.
+func Protect(s Scheme, net *scalesim.NetworkResult, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := newProtector(s, opts)
+	if s.Kind == SeDA {
+		p.precomputeSeDABlocks(net)
+	}
+	res := &Result{Scheme: s}
+	for i := range net.Layers {
+		res.Layers = append(res.Layers, p.protectLayer(&net.Layers[i]))
+	}
+	p.drain(res)
+	return res, nil
+}
+
+// tensorRuns collects a layer's data runs for one tensor, rebased to
+// the tensor's minimum address so block grids anchor per tensor.
+func tensorRuns(lr *scalesim.LayerResult, tn trace.Tensor) (runs []trace.Access, base uint64) {
+	first := true
+	for _, a := range lr.Trace.Accesses {
+		if a.Class != trace.Data || a.Tensor != tn {
+			continue
+		}
+		if first || a.Addr < base {
+			base = a.Addr
+			first = false
+		}
+	}
+	for _, a := range lr.Trace.Accesses {
+		if a.Class != trace.Data || a.Tensor != tn {
+			continue
+		}
+		ra := a
+		ra.Addr -= base
+		runs = append(runs, ra)
+	}
+	return runs, base
+}
+
+// precomputeSeDABlocks chooses every layer's per-tensor optBlk with
+// the inter-layer awareness of Fig. 3(b): the activation tensor
+// between layer i and layer i+1 is written with layer i's ofmap
+// pattern and read with layer i+1's ifmap pattern, so one block grid
+// must serve both. The search therefore runs over the *union* of the
+// producer's writes and the consumer's reads; weights are searched per
+// layer. All searches use the on-chip-MAC weights (alignment only).
+func (p *protector) precomputeSeDABlocks(net *scalesim.NetworkResult) {
+	n := len(net.Layers)
+	p.sedaBlocks = make([]map[trace.Tensor]uint64, n)
+	p.sedaBases = make([]map[trace.Tensor]uint64, n)
+	for i := range net.Layers {
+		p.sedaBlocks[i] = make(map[trace.Tensor]uint64)
+		p.sedaBases[i] = make(map[trace.Tensor]uint64)
+	}
+	w := authblock.OnChipMACWeights()
+
+	for i := range net.Layers {
+		// Weights: intra-layer only.
+		wruns, wbase := tensorRuns(&net.Layers[i], trace.Weights)
+		if len(wruns) > 0 {
+			p.sedaBlocks[i][trace.Weights] = uint64(authblock.SearchWeighted(wruns, w).Best.Block)
+			p.sedaBases[i][trace.Weights] = wbase
+		}
+
+		// Activation tensor between layer i (producer) and i+1
+		// (consumer): shared grid over the union of both patterns.
+		oruns, obase := tensorRuns(&net.Layers[i], trace.OFMap)
+		union := oruns
+		base := obase
+		if i+1 < n {
+			iruns, ibase := tensorRuns(&net.Layers[i+1], trace.IFMap)
+			if len(iruns) > 0 {
+				if len(union) == 0 || ibase < base {
+					base = ibase
+				}
+				// Re-rebase both sets to the common base.
+				union = rebaseUnion(oruns, obase, iruns, ibase, base)
+			}
+		}
+		if len(union) > 0 {
+			blk := uint64(authblock.SearchWeighted(union, w).Best.Block)
+			p.sedaBlocks[i][trace.OFMap] = blk
+			p.sedaBases[i][trace.OFMap] = base
+			if i+1 < n {
+				p.sedaBlocks[i+1][trace.IFMap] = blk
+				p.sedaBases[i+1][trace.IFMap] = base
+			}
+		}
+		// Layer 0's ifmap has no producer: intra-layer search.
+		if i == 0 {
+			iruns, ibase := tensorRuns(&net.Layers[0], trace.IFMap)
+			if len(iruns) > 0 {
+				p.sedaBlocks[0][trace.IFMap] = uint64(authblock.SearchWeighted(iruns, w).Best.Block)
+				p.sedaBases[0][trace.IFMap] = ibase
+			}
+		}
+	}
+}
+
+// rebaseUnion shifts two run sets (already rebased to their own bases)
+// onto a common base and concatenates them.
+func rebaseUnion(a []trace.Access, abase uint64, b []trace.Access, bbase, common uint64) []trace.Access {
+	out := make([]trace.Access, 0, len(a)+len(b))
+	for _, r := range a {
+		r.Addr += abase - common
+		out = append(out, r)
+	}
+	for _, r := range b {
+		r.Addr += bbase - common
+		out = append(out, r)
+	}
+	return out
+}
+
+// drain writes back the dirty metadata remaining in the SGX caches at
+// the end of the inference, charging the traffic (and trace accesses)
+// to the final layer. Other schemes hold no cached metadata.
+func (p *protector) drain(res *Result) {
+	if p.scheme.Kind != SGX || len(res.Layers) == 0 {
+		return
+	}
+	last := &res.Layers[len(res.Layers)-1]
+	line := uint64(p.opts.CacheLine)
+	var lastCycle uint64
+	if n := last.Trace.Len(); n > 0 {
+		lastCycle = last.Trace.Accesses[n-1].Cycle
+	}
+	for _, c := range []struct {
+		cache *cache.Cache
+		class trace.Class
+		bytes *uint64
+	}{
+		{p.macc, trace.MACMeta, &last.Overhead.MACBytes},
+		{p.vnc, trace.VNMeta, &last.Overhead.VNBytes},
+	} {
+		wb := c.cache.Flush()
+		if wb == 0 {
+			continue
+		}
+		// The drained lines' individual addresses are immaterial for
+		// timing (back-to-back metadata writes); emit one aggregate
+		// write per cache.
+		last.Trace.Append(trace.Access{
+			Cycle:  lastCycle,
+			Addr:   VNBase - line, // metadata region, distinct from data
+			Bytes:  uint32(wb * line),
+			Kind:   trace.Write,
+			Class:  c.class,
+			Tensor: trace.Metadata,
+			Layer:  uint16(last.LayerID),
+		})
+		*c.bytes += wb * line
+	}
+}
+
+// protector holds per-network state (metadata caches persist across
+// layers within one inference).
+type protector struct {
+	scheme Scheme
+	opts   Options
+	vnc    *cache.Cache // VN + integrity-tree cache (SGX)
+	macc   *cache.Cache // MAC cache (SGX)
+
+	// SeDA's precomputed per-layer, per-tensor block grids (block
+	// size and grid anchor), chosen with inter-layer awareness.
+	sedaBlocks []map[trace.Tensor]uint64
+	sedaBases  []map[trace.Tensor]uint64
+}
+
+func newProtector(s Scheme, opts Options) *protector {
+	p := &protector{scheme: s, opts: opts}
+	if s.Kind == SGX {
+		p.vnc = newMetaCache(opts.VNCacheBytes, opts.CacheLine, opts.CacheWays)
+		p.macc = newMetaCache(opts.MACCacheBytes, opts.CacheLine, opts.CacheWays)
+	}
+	return p
+}
+
+func (p *protector) protectLayer(lr *scalesim.LayerResult) ProtectedLayer {
+	pl := ProtectedLayer{
+		LayerID: lr.LayerID,
+		Trace:   &trace.Trace{},
+	}
+	switch p.scheme.Kind {
+	case Baseline:
+		pl.Trace.AppendAll(lr.Trace)
+		pl.Overhead.DataBytes = lr.DataBytes()
+	case SGX:
+		p.protectSGX(lr, &pl)
+	case MGX:
+		p.protectMGX(lr, &pl)
+	case SeDA:
+		p.protectSeDA(lr, &pl)
+	default:
+		panic(fmt.Sprintf("memprot: unhandled scheme %v", p.scheme.Kind))
+	}
+	return pl
+}
+
+// protectSGX models the full SGX-style protection unit: per-block MACs
+// through the MAC cache, per-block VNs through the VN cache, and a
+// tree walk above every VN-line miss, also through the VN cache.
+func (p *protector) protectSGX(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+	block := uint64(p.scheme.Block)
+	line := uint64(p.opts.CacheLine)
+	blocksPerMACLine := line / macEntryBytes
+	blocksPerVNLine := line / vnEntryBytes
+
+	for _, a := range lr.Trace.Accesses {
+		pl.Trace.Append(a)
+		pl.Overhead.DataBytes += uint64(a.Bytes)
+
+		base := regionBase(a.Addr)
+		rel := a.Addr - base
+		n := uint64(a.Bytes)
+		b0 := rel / block
+		b1 := (rel + n - 1) / block
+		write := a.Kind == trace.Write
+
+		// MAC lines covering blocks [b0, b1], through the MAC cache.
+		for ml := b0 / blocksPerMACLine; ml <= b1/blocksPerMACLine; ml++ {
+			macAddr := MACBase + (base>>6)*macEntryBytes + ml*line
+			r := p.macc.Access(macAddr, write)
+			if r.Fill {
+				p.emitMeta(pl, a, macAddr, uint32(line), trace.Read, trace.MACMeta)
+				pl.Overhead.MACBytes += line
+			}
+			if r.Writeback {
+				p.emitMeta(pl, a, macAddr, uint32(line), trace.Write, trace.MACMeta)
+				pl.Overhead.MACBytes += line
+			}
+		}
+
+		// VN lines plus the integrity-tree walk above each miss.
+		for vl := b0 / blocksPerVNLine; vl <= b1/blocksPerVNLine; vl++ {
+			vnAddr := VNBase + (base>>6)*vnEntryBytes + vl*line
+			r := p.vnc.Access(vnAddr, write)
+			if r.Fill {
+				p.emitMeta(pl, a, vnAddr, uint32(line), trace.Read, trace.VNMeta)
+				pl.Overhead.VNBytes += line
+				// Tree leaves are indexed by global VN line so nodes
+				// from different tensor regions never collide.
+				p.walkTree(pl, a, (vnAddr-VNBase)/line, write)
+			}
+			if r.Writeback {
+				p.emitMeta(pl, a, vnAddr, uint32(line), trace.Write, trace.VNMeta)
+				pl.Overhead.VNBytes += line
+			}
+		}
+
+		// Whole-block granularity: over-fetch on reads, RMW on writes.
+		p.chargeAlignment(pl, a, base, block)
+	}
+}
+
+// walkTree climbs the integrity tree above VN line vl, fetching each
+// level through the VN cache until a cached (already-verified)
+// ancestor is found. The root is on-chip and never fetched.
+func (p *protector) walkTree(pl *ProtectedLayer, a trace.Access, vl uint64, write bool) {
+	line := uint64(p.opts.CacheLine)
+	idx := vl
+	for lvl := 1; lvl <= TreeLevels; lvl++ {
+		idx /= 8 // 8-ary tree
+		nodeAddr := TreeBase + uint64(lvl-1)*TreeLevelGap + idx*line
+		r := p.vnc.Access(nodeAddr, write)
+		if !r.Fill {
+			return // verified ancestor cached: walk stops
+		}
+		p.emitMeta(pl, a, nodeAddr, uint32(line), trace.Read, trace.TreeMeta)
+		pl.Overhead.TreeBytes += line
+		if r.Writeback {
+			p.emitMeta(pl, a, nodeAddr, uint32(line), trace.Write, trace.TreeMeta)
+			pl.Overhead.TreeBytes += line
+		}
+	}
+}
+
+// protectMGX models MGX: version numbers are generated on-chip from
+// DNN state (zero traffic), MACs are fetched uncached at 8 B per
+// protection block, contiguously for a contiguous run.
+func (p *protector) protectMGX(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+	block := uint64(p.scheme.Block)
+	for _, a := range lr.Trace.Accesses {
+		pl.Trace.Append(a)
+		pl.Overhead.DataBytes += uint64(a.Bytes)
+
+		base := regionBase(a.Addr)
+		rel := a.Addr - base
+		n := uint64(a.Bytes)
+		blocks := tiling.BlocksTouched(rel, n, block)
+		macBytes := blocks * macEntryBytes
+		macAddr := MACBase + (base>>6)*macEntryBytes + (rel/block)*macEntryBytes
+		kind := trace.Read
+		if a.Kind == trace.Write {
+			kind = trace.Write
+		}
+		p.emitMeta(pl, a, macAddr, uint32(macBytes), kind, trace.MACMeta)
+		pl.Overhead.MACBytes += macBytes
+
+		p.chargeAlignment(pl, a, base, block)
+	}
+}
+
+// protectSeDA models SeDA's multi-level integrity verification: the
+// authblock search picks a tile-aligned optBlk per layer, optBlk MACs
+// are computed and XOR-aggregated on-chip, and only the layer MAC
+// lives off-chip (one metadata line read at the layer's first access
+// and one write at its last). Version numbers are on-chip (MGX-style)
+// and encryption is bandwidth-aware (no traffic impact).
+func (p *protector) protectSeDA(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+	// Per-tensor block grids were precomputed with inter-layer
+	// awareness (the MAC binds fmap_idx, so each feature map carries
+	// its own grid; the activation tensor's grid is shared between
+	// its producer's writes and its consumer's reads).
+	blocks := p.sedaBlocks[lr.LayerID]
+	bases := p.sedaBases[lr.LayerID]
+	if b, ok := blocks[trace.IFMap]; ok {
+		pl.Overhead.OptBlk = int(b)
+	} else {
+		pl.Overhead.OptBlk = authblock.MinBlock
+	}
+
+	line := uint64(p.opts.CacheLine)
+	lmAddr := LayerMACBase + uint64(lr.LayerID)*line
+
+	first := true
+	var lastCycle uint64
+	for _, a := range lr.Trace.Accesses {
+		if first {
+			// Load the layer MAC line for the ifmap being consumed.
+			p.emitMeta(pl, a, lmAddr, uint32(line), trace.Read, trace.MACMeta)
+			pl.Overhead.MACBytes += line
+			first = false
+		}
+		pl.Trace.Append(a)
+		pl.Overhead.DataBytes += uint64(a.Bytes)
+
+		// Residual misalignment with the searched optBlk (zero when a
+		// tile-aligned divisor exists, which is the common case).
+		blk, ok := blocks[a.Tensor]
+		if !ok {
+			blk = authblock.MinBlock
+		}
+		p.chargeAlignment(pl, a, bases[a.Tensor], blk)
+		lastCycle = a.Cycle
+	}
+	if !first {
+		// Store the updated layer MAC for the ofmap just produced.
+		last := lr.Trace.Accesses[len(lr.Trace.Accesses)-1]
+		last.Cycle = lastCycle
+		p.emitMeta(pl, last, lmAddr, uint32(line), trace.Write, trace.MACMeta)
+		pl.Overhead.MACBytes += line
+	}
+}
+
+// chargeAlignment adds over-fetch (reads) or RMW read-back (writes)
+// for runs misaligned with the protection-block grid anchored at base.
+func (p *protector) chargeAlignment(pl *ProtectedLayer, a trace.Access, base, block uint64) {
+	rel := a.Addr - base
+	n := uint64(a.Bytes)
+	var extra uint64
+	if a.Kind == trace.Read {
+		extra = tiling.ReadOverFetch(rel, n, block)
+	} else {
+		extra = tiling.WriteRMWBytes(rel, n, block)
+	}
+	if extra == 0 {
+		return
+	}
+	addr := base + tiling.RoundDown(rel, block)
+	p.emitMeta(pl, a, addr, uint32(extra), trace.Read, trace.OverFetch)
+	pl.Overhead.OverFetchBytes += extra
+}
+
+// emitMeta appends a metadata access inheriting the triggering
+// access's issue cycle and layer/tile tags.
+func (p *protector) emitMeta(pl *ProtectedLayer, src trace.Access, addr uint64, bytes uint32, kind trace.Kind, class trace.Class) {
+	pl.Trace.Append(trace.Access{
+		Cycle:  src.Cycle,
+		Addr:   addr,
+		Bytes:  bytes,
+		Kind:   kind,
+		Class:  class,
+		Tensor: trace.Metadata,
+		Layer:  src.Layer,
+		Tile:   src.Tile,
+	})
+}

@@ -1,0 +1,130 @@
+package memprot
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSeDALayerMACTrafficExactlyTwoLinesPerLayer(t *testing.T) {
+	// SeDA's only regular metadata traffic is the off-chip layer MAC
+	// line: one read at the layer's start, one write at its end
+	// (§IV-A "SeDA stores layer MACs off-chip" for fairness).
+	net := edgeNet(t, "rest")
+	r := protect(t, SchemeSeDA, net)
+	line := uint64(DefaultOptions().CacheLine)
+	for _, pl := range r.Layers {
+		if pl.Overhead.MACBytes != 2*line {
+			t.Errorf("layer %d: layer-MAC traffic %d bytes, want %d",
+				pl.LayerID, pl.Overhead.MACBytes, 2*line)
+		}
+		var reads, writes int
+		for _, a := range pl.Trace.Accesses {
+			if a.Class != trace.MACMeta {
+				continue
+			}
+			if a.Addr < LayerMACBase {
+				t.Errorf("layer %d: layer MAC at %#x below LayerMACBase", pl.LayerID, a.Addr)
+			}
+			if a.Kind == trace.Read {
+				reads++
+			} else {
+				writes++
+			}
+		}
+		if reads != 1 || writes != 1 {
+			t.Errorf("layer %d: %d MAC reads, %d writes, want 1/1", pl.LayerID, reads, writes)
+		}
+	}
+}
+
+func TestSeDALayerMACAddressesPerLayerDistinct(t *testing.T) {
+	net := edgeNet(t, "mob")
+	r := protect(t, SchemeSeDA, net)
+	seen := map[uint64]int{}
+	for _, pl := range r.Layers {
+		for _, a := range pl.Trace.Accesses {
+			if a.Class == trace.MACMeta && a.Kind == trace.Read {
+				if prev, dup := seen[a.Addr]; dup {
+					t.Fatalf("layers %d and %d share layer-MAC line %#x",
+						prev, pl.LayerID, a.Addr)
+				}
+				seen[a.Addr] = pl.LayerID
+			}
+		}
+	}
+}
+
+func TestSeDAOptBlkZeroAlignmentChargesOnMostLayers(t *testing.T) {
+	// The intra-layer-aware optBlk should eliminate over-fetch/RMW on
+	// the large majority of layers (small layers with sub-64B runs may
+	// retain a residual charge).
+	for _, name := range []string{"alex", "rest", "goo", "yolo", "trf"} {
+		net := edgeNet(t, name)
+		r := protect(t, SchemeSeDA, net)
+		var charged, total int
+		for _, pl := range r.Layers {
+			total++
+			if pl.Overhead.OverFetchBytes > 0 {
+				charged++
+			}
+		}
+		if charged*5 > total {
+			t.Errorf("%s: %d/%d layers retain alignment charges under optBlk",
+				name, charged, total)
+		}
+	}
+}
+
+func TestSGXTreeTrafficDecreasesWithWarmCache(t *testing.T) {
+	// The integrity-tree walk is cache-filtered: the first layers pay
+	// for cold top-of-tree nodes, later layers mostly hit. Total tree
+	// traffic must therefore be well below the no-cache worst case of
+	// TreeLevels lines per VN miss.
+	net := edgeNet(t, "rest")
+	r := protect(t, SchemeSGX64, net)
+	var vn, tree uint64
+	for _, pl := range r.Layers {
+		vn += pl.Overhead.VNBytes
+		tree += pl.Overhead.TreeBytes
+	}
+	if tree >= vn*TreeLevels {
+		t.Errorf("tree traffic %d not filtered vs worst case %d", tree, vn*TreeLevels)
+	}
+	if tree == 0 {
+		t.Error("no tree traffic at all")
+	}
+}
+
+func TestSeDAInterLayerBlockConsistency(t *testing.T) {
+	// The activation tensor between layers i and i+1 is one region
+	// written by i and read by i+1: both sides must use the same
+	// block grid (Fig. 3(b), inter-layer-aware block).
+	net := edgeNet(t, "rest")
+	p := newProtector(SchemeSeDA, DefaultOptions())
+	p.precomputeSeDABlocks(net)
+	for i := 0; i+1 < len(net.Layers); i++ {
+		ob, ook := p.sedaBlocks[i][trace.OFMap]
+		ib, iok := p.sedaBlocks[i+1][trace.IFMap]
+		if !ook || !iok {
+			t.Fatalf("layer %d: missing activation block (ofmap %v, ifmap %v)", i, ook, iok)
+		}
+		if ob != ib {
+			t.Errorf("layer %d ofmap block %d != layer %d ifmap block %d", i, ob, i+1, ib)
+		}
+		obase, ibase := p.sedaBases[i][trace.OFMap], p.sedaBases[i+1][trace.IFMap]
+		if obase != ibase {
+			t.Errorf("layer %d/%d activation grid anchors differ: %#x vs %#x", i, i+1, obase, ibase)
+		}
+	}
+}
+
+func TestSeDAStillNearZeroWithInterLayerBlocks(t *testing.T) {
+	// The shared grid must not reintroduce significant over-fetch.
+	for _, name := range []string{"alex", "rest", "goo", "trf", "yolo"} {
+		r := protect(t, SchemeSeDA, edgeNet(t, name))
+		if oh := r.TrafficOverheadRatio(); oh > 0.01 {
+			t.Errorf("%s: SeDA overhead %.4f above 1%% with inter-layer blocks", name, oh)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sha256x"
+)
+
+// Bonsai is a Bonsai Merkle Tree: a hash tree over the version-number
+// counters rather than over the data blocks themselves. Data freshness
+// follows indirectly: each data block's MAC binds its VN, and the BMT
+// (root on-chip) guarantees VN freshness, so replaying stale data or a
+// stale counter is caught. Because VNs are small (56-bit in SGX and
+// SeDA's threat model), the BMT is far shallower than a data-block MT —
+// the optimization introduced by Rogers et al. [13].
+type Bonsai struct {
+	vns  []uint64 // the off-chip counter array (56-bit values)
+	tree *Tree    // hash tree over counter groups
+	per  int      // counters per leaf (a 64B counter line holds 8)
+}
+
+// VNMask keeps counters within the 56-bit width used by the schemes.
+const VNMask = (uint64(1) << 56) - 1
+
+// CountersPerLine is how many 56-bit VNs pack into one 64-byte
+// metadata line (8 bytes each after alignment).
+const CountersPerLine = 8
+
+// NewBonsai builds a BMT over n version counters, all zero.
+func NewBonsai(key []byte, n int) (*Bonsai, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("merkle: bonsai counter count %d < 1", n)
+	}
+	leaves := (n + CountersPerLine - 1) / CountersPerLine
+	t, err := New(key, leaves, DefaultArity)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bonsai{
+		vns:  make([]uint64, n),
+		tree: t,
+		per:  CountersPerLine,
+	}
+	for leaf := 0; leaf < leaves; leaf++ {
+		b.tree.SetLeaf(leaf, b.leafDigest(leaf))
+	}
+	return b, nil
+}
+
+// NumCounters returns the number of version counters tracked.
+func (b *Bonsai) NumCounters() int { return len(b.vns) }
+
+// VN returns counter i.
+func (b *Bonsai) VN(i int) uint64 {
+	b.mustIdx(i)
+	return b.vns[i]
+}
+
+func (b *Bonsai) leafDigest(leaf int) sha256x.MAC {
+	lo := leaf * b.per
+	hi := lo + b.per
+	if hi > len(b.vns) {
+		hi = len(b.vns)
+	}
+	buf := make([]byte, 0, (hi-lo)*8+4)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(leaf))
+	buf = append(buf, hdr[:]...)
+	for i := lo; i < hi; i++ {
+		var v [8]byte
+		binary.BigEndian.PutUint64(v[:], b.vns[i])
+		buf = append(buf, v[:]...)
+	}
+	return sha256x.TruncMAC(b.tree.key, buf)
+}
+
+// Increment bumps counter i (a write to the protected block), updates
+// the tree path, and returns the new value plus the nodes written.
+func (b *Bonsai) Increment(i int) (uint64, []NodeRef) {
+	b.mustIdx(i)
+	b.vns[i] = (b.vns[i] + 1) & VNMask
+	leaf := i / b.per
+	touched := b.tree.SetLeaf(leaf, b.leafDigest(leaf))
+	return b.vns[i], touched
+}
+
+// Verify checks that counter i's stored value is consistent with the
+// tree path to the on-chip root, returning the nodes read.
+func (b *Bonsai) Verify(i int) (bool, []NodeRef) {
+	b.mustIdx(i)
+	leaf := i / b.per
+	if b.tree.Leaf(leaf) != b.leafDigest(leaf) {
+		return false, []NodeRef{{Level: 0, Index: leaf}}
+	}
+	return b.tree.VerifyLeaf(leaf)
+}
+
+// TamperCounter overwrites counter i without updating the tree,
+// modeling an off-chip replay/rollback of the counter line.
+func (b *Bonsai) TamperCounter(i int, value uint64) {
+	b.mustIdx(i)
+	b.vns[i] = value & VNMask
+}
+
+// Root returns the on-chip root.
+func (b *Bonsai) Root() sha256x.MAC { return b.tree.Root() }
+
+// Tree exposes the underlying hash tree (e.g. for traffic accounting
+// or interior-node tampering in tests).
+func (b *Bonsai) Tree() *Tree { return b.tree }
+
+func (b *Bonsai) mustIdx(i int) {
+	if i < 0 || i >= len(b.vns) {
+		panic(fmt.Sprintf("merkle: counter %d out of range [0,%d)", i, len(b.vns)))
+	}
+}

@@ -1,0 +1,164 @@
+// Package merkle implements the integrity trees used by SGX-style
+// memory protection: a hash tree (Merkle Tree, MT) over protected data
+// blocks and a Bonsai Merkle Tree (BMT) over version-number counters.
+// The root of either tree lives in on-chip storage (the TCB), so a
+// replay of stale off-chip data or counters is detected when the
+// recomputed root disagrees.
+//
+// Besides the functional verify/update operations used in tests and
+// the attack demos, every walk reports the set of tree-node indices it
+// touched, which the memory-protection simulator converts into
+// metadata DRAM traffic (filtered through the metadata caches).
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sha256x"
+)
+
+// DefaultArity is the fan-out used by the simulated trees. An 8-ary
+// tree over 64B blocks matches the 64B-node / 8B-MAC geometry common
+// to SGX-class integrity engines.
+const DefaultArity = 8
+
+// Tree is a fixed-shape hash tree over nLeaves leaf digests.
+// Leaves are 64-bit truncated MACs of the protected blocks; interior
+// nodes are truncated MACs of their children's concatenation.
+type Tree struct {
+	arity  int
+	key    []byte
+	levels [][]sha256x.MAC // levels[0] = leaves ... levels[h-1] = [root]
+}
+
+// New builds a tree with the given arity over nLeaves zero-valued
+// leaves. nLeaves must be >= 1 and arity >= 2.
+func New(key []byte, nLeaves, arity int) (*Tree, error) {
+	if nLeaves < 1 {
+		return nil, fmt.Errorf("merkle: nLeaves %d < 1", nLeaves)
+	}
+	if arity < 2 {
+		return nil, fmt.Errorf("merkle: arity %d < 2", arity)
+	}
+	t := &Tree{arity: arity, key: append([]byte(nil), key...)}
+	n := nLeaves
+	for {
+		t.levels = append(t.levels, make([]sha256x.MAC, n))
+		if n == 1 {
+			break
+		}
+		n = (n + arity - 1) / arity
+	}
+	t.rebuildAll()
+	return t, nil
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// Height returns the number of levels including leaves and root.
+func (t *Tree) Height() int { return len(t.levels) }
+
+// Root returns the current root MAC (the on-chip copy).
+func (t *Tree) Root() sha256x.MAC { return t.levels[len(t.levels)-1][0] }
+
+// NodeRef identifies a tree node touched by a walk: its level
+// (0 = leaves) and index within the level. The protection simulator
+// maps NodeRefs to metadata addresses.
+type NodeRef struct {
+	Level int
+	Index int
+}
+
+func (t *Tree) hashChildren(level, parentIdx int) sha256x.MAC {
+	lo := parentIdx * t.arity
+	hi := lo + t.arity
+	if hi > len(t.levels[level]) {
+		hi = len(t.levels[level])
+	}
+	buf := make([]byte, 0, (hi-lo)*8+8)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(level))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(parentIdx))
+	buf = append(buf, hdr[:]...)
+	for i := lo; i < hi; i++ {
+		b := t.levels[level][i].Bytes()
+		buf = append(buf, b[:]...)
+	}
+	return sha256x.TruncMAC(t.key, buf)
+}
+
+func (t *Tree) rebuildAll() {
+	for lv := 0; lv < len(t.levels)-1; lv++ {
+		for p := range t.levels[lv+1] {
+			t.levels[lv+1][p] = t.hashChildren(lv, p)
+		}
+	}
+}
+
+// SetLeaf installs a new leaf digest and updates the path to the root,
+// returning the nodes written (leaf upward, root last).
+func (t *Tree) SetLeaf(i int, m sha256x.MAC) []NodeRef {
+	t.mustLeaf(i)
+	t.levels[0][i] = m
+	touched := []NodeRef{{Level: 0, Index: i}}
+	idx := i
+	for lv := 0; lv < len(t.levels)-1; lv++ {
+		parent := idx / t.arity
+		t.levels[lv+1][parent] = t.hashChildren(lv, parent)
+		touched = append(touched, NodeRef{Level: lv + 1, Index: parent})
+		idx = parent
+	}
+	return touched
+}
+
+// Leaf returns leaf i's digest.
+func (t *Tree) Leaf(i int) sha256x.MAC {
+	t.mustLeaf(i)
+	return t.levels[0][i]
+}
+
+// VerifyLeaf checks leaf i against the stored path to the root,
+// returning whether the path is consistent and the nodes read. With an
+// untampered tree this always succeeds; tests corrupt interior state
+// via CorruptNode to exercise detection.
+func (t *Tree) VerifyLeaf(i int) (bool, []NodeRef) {
+	t.mustLeaf(i)
+	touched := []NodeRef{{Level: 0, Index: i}}
+	idx := i
+	for lv := 0; lv < len(t.levels)-1; lv++ {
+		parent := idx / t.arity
+		want := t.hashChildren(lv, parent)
+		touched = append(touched, NodeRef{Level: lv + 1, Index: parent})
+		if t.levels[lv+1][parent] != want {
+			return false, touched
+		}
+		idx = parent
+	}
+	return true, touched
+}
+
+// CorruptNode flips bits of a stored node without updating ancestors,
+// modeling off-chip tampering. The root (highest level) is on-chip and
+// cannot be corrupted; attempting to do so panics.
+func (t *Tree) CorruptNode(ref NodeRef, mask uint64) {
+	if ref.Level == len(t.levels)-1 {
+		panic("merkle: root is on-chip and cannot be tampered")
+	}
+	if ref.Level < 0 || ref.Level >= len(t.levels) ||
+		ref.Index < 0 || ref.Index >= len(t.levels[ref.Level]) {
+		panic(fmt.Sprintf("merkle: node ref %+v out of range", ref))
+	}
+	t.levels[ref.Level][ref.Index] ^= sha256x.MAC(mask)
+}
+
+// PathLen returns the number of nodes on a leaf-to-root path,
+// the per-access traffic upper bound before caching.
+func (t *Tree) PathLen() int { return len(t.levels) }
+
+func (t *Tree) mustLeaf(i int) {
+	if i < 0 || i >= len(t.levels[0]) {
+		panic(fmt.Sprintf("merkle: leaf %d out of range [0,%d)", i, len(t.levels[0])))
+	}
+}

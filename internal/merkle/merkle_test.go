@@ -1,0 +1,202 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sha256x"
+)
+
+var key = []byte("merkle-test-key")
+
+func newTree(t *testing.T, leaves, arity int) *Tree {
+	t.Helper()
+	tr, err := New(key, leaves, arity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadShape(t *testing.T) {
+	if _, err := New(key, 0, 8); err == nil {
+		t.Error("accepted 0 leaves")
+	}
+	if _, err := New(key, 8, 1); err == nil {
+		t.Error("accepted arity 1")
+	}
+	if _, err := New(key, -3, 8); err == nil {
+		t.Error("accepted negative leaves")
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	cases := []struct {
+		leaves, arity, height int
+	}{
+		{1, 8, 1},
+		{8, 8, 2},
+		{9, 8, 3},
+		{64, 8, 3},
+		{65, 8, 4},
+		{512, 8, 4},
+		{2, 2, 2},
+		{7, 2, 4},
+	}
+	for _, c := range cases {
+		tr := newTree(t, c.leaves, c.arity)
+		if tr.Height() != c.height {
+			t.Errorf("leaves=%d arity=%d: height=%d, want %d", c.leaves, c.arity, tr.Height(), c.height)
+		}
+		if tr.NumLeaves() != c.leaves {
+			t.Errorf("NumLeaves=%d, want %d", tr.NumLeaves(), c.leaves)
+		}
+		if tr.PathLen() != c.height {
+			t.Errorf("PathLen=%d, want %d", tr.PathLen(), c.height)
+		}
+	}
+}
+
+func TestSetLeafChangesRoot(t *testing.T) {
+	tr := newTree(t, 64, 8)
+	r0 := tr.Root()
+	tr.SetLeaf(13, sha256x.MAC(0xabcdef))
+	if tr.Root() == r0 {
+		t.Error("root unchanged after SetLeaf")
+	}
+	if tr.Leaf(13) != sha256x.MAC(0xabcdef) {
+		t.Error("leaf not stored")
+	}
+}
+
+func TestSetLeafTouchedPath(t *testing.T) {
+	tr := newTree(t, 64, 8)
+	touched := tr.SetLeaf(42, 1)
+	if len(touched) != tr.Height() {
+		t.Fatalf("touched %d nodes, want %d", len(touched), tr.Height())
+	}
+	if touched[0] != (NodeRef{Level: 0, Index: 42}) {
+		t.Errorf("first ref = %+v, want leaf 42", touched[0])
+	}
+	want := 42
+	for lv, ref := range touched {
+		if ref.Level != lv {
+			t.Errorf("ref %d level = %d", lv, ref.Level)
+		}
+		if ref.Index != want {
+			t.Errorf("level %d index = %d, want %d", lv, ref.Index, want)
+		}
+		want /= 8
+	}
+	last := touched[len(touched)-1]
+	if last.Index != 0 {
+		t.Errorf("path does not end at root: %+v", last)
+	}
+}
+
+func TestVerifyCleanTree(t *testing.T) {
+	tr := newTree(t, 100, 8)
+	for i := 0; i < 100; i++ {
+		tr.SetLeaf(i, sha256x.MAC(i*i+1))
+	}
+	for i := 0; i < 100; i++ {
+		ok, touched := tr.VerifyLeaf(i)
+		if !ok {
+			t.Fatalf("clean leaf %d failed verification", i)
+		}
+		if len(touched) != tr.Height() {
+			t.Fatalf("verify touched %d nodes, want %d", len(touched), tr.Height())
+		}
+	}
+}
+
+func TestVerifyDetectsInteriorTamper(t *testing.T) {
+	// 512 leaves, arity 8: levels are 512/64/8/1. Corrupting a level-1
+	// node is detected on every leaf whose path compares against it,
+	// while leaves in disjoint subtrees (whose paths never read the
+	// corrupted node) still verify against their own intact ancestors.
+	tr := newTree(t, 512, 8)
+	for i := 0; i < 512; i++ {
+		tr.SetLeaf(i, sha256x.MAC(i+7))
+	}
+	tr.CorruptNode(NodeRef{Level: 1, Index: 63}, 0x1)
+	if ok, _ := tr.VerifyLeaf(511); ok {
+		t.Error("tampered interior node not detected on covered leaf")
+	}
+	if ok, _ := tr.VerifyLeaf(0); !ok {
+		t.Error("untouched subtree failed verification")
+	}
+}
+
+func TestVerifyDetectsLeafReplay(t *testing.T) {
+	tr := newTree(t, 64, 8)
+	for i := 0; i < 64; i++ {
+		tr.SetLeaf(i, sha256x.MAC(1000+i))
+	}
+	// Replay: restore leaf 20's old value without updating ancestors.
+	tr.CorruptNode(NodeRef{Level: 0, Index: 20}, uint64(tr.Leaf(20))^999)
+	if ok, _ := tr.VerifyLeaf(20); ok {
+		t.Error("replayed leaf not detected")
+	}
+}
+
+func TestCorruptRootPanics(t *testing.T) {
+	tr := newTree(t, 8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupting root did not panic")
+		}
+	}()
+	tr.CorruptNode(NodeRef{Level: tr.Height() - 1, Index: 0}, 1)
+}
+
+func TestRootDeterministicAcrossRebuild(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			vals = []uint64{0}
+		}
+		t1, err := New(key, len(vals), 8)
+		if err != nil {
+			return false
+		}
+		t2, err := New(key, len(vals), 8)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			t1.SetLeaf(i, sha256x.MAC(v))
+		}
+		// Install in reverse order on t2.
+		for i := len(vals) - 1; i >= 0; i-- {
+			t2.SetLeaf(i, sha256x.MAC(vals[i]))
+		}
+		return t1.Root() == t2.Root()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferentKeysDifferentRoots(t *testing.T) {
+	t1, _ := New([]byte("key-one"), 16, 8)
+	t2, _ := New([]byte("key-two"), 16, 8)
+	t1.SetLeaf(0, 5)
+	t2.SetLeaf(0, 5)
+	if t1.Root() == t2.Root() {
+		t.Error("roots collide under different keys")
+	}
+}
+
+func TestLeafOutOfRangePanics(t *testing.T) {
+	tr := newTree(t, 8, 8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Leaf(%d) did not panic", i)
+				}
+			}()
+			tr.Leaf(i)
+		}()
+	}
+}

@@ -1,0 +1,200 @@
+// Package model describes DNN inference workloads at the granularity
+// the simulation pipeline needs: per-layer tensor shapes. The 13
+// benchmark networks of the paper's evaluation (§IV-A) are provided as
+// layer tables in the style of SCALE-Sim topology files.
+//
+// Every element is one byte (Table II: 1-B precision for both NPUs),
+// so tensor byte sizes equal element counts.
+package model
+
+import "fmt"
+
+// Kind distinguishes the layer compute patterns the simulator models.
+type Kind uint8
+
+const (
+	// Conv is a standard convolution layer.
+	Conv Kind = iota
+	// DWConv is a depthwise convolution (one filter per channel).
+	DWConv
+	// GEMM is a dense matrix multiply (fully-connected layers,
+	// attention projections, recurrent cells unrolled to GEMMs),
+	// with M×K activations against K×N weights.
+	GEMM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case DWConv:
+		return "dwconv"
+	case GEMM:
+		return "gemm"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Layer is one network layer. For Conv/DWConv, the ifmap dimensions
+// are the *padded* input (the convention of SCALE-Sim topology files),
+// so the output is (IfmapH-FiltH)/Stride+1. For GEMM, M=GemmM, K=GemmK
+// (=Channels), N=GemmN (=NumFilt) and the spatial fields are unused.
+type Layer struct {
+	Name   string
+	Kind   Kind
+	IfmapH int
+	IfmapW int
+	FiltH  int
+	FiltW  int
+	// Channels is input channels (Conv/DWConv) or K (GEMM).
+	Channels int
+	// NumFilt is output channels (Conv), ignored for DWConv
+	// (output channels == Channels), or N (GEMM).
+	NumFilt int
+	Stride  int
+	// GemmM is the M dimension for GEMM layers (rows of activations,
+	// e.g. batch or sequence length).
+	GemmM int
+}
+
+// FC builds a fully-connected layer as a GEMM with batch m.
+func FC(name string, m, k, n int) Layer {
+	return Layer{Name: name, Kind: GEMM, GemmM: m, Channels: k, NumFilt: n, Stride: 1}
+}
+
+// CV builds a convolution layer (ifmap dims already padded).
+func CV(name string, ih, iw, fh, fw, c, m, s int) Layer {
+	return Layer{Name: name, Kind: Conv, IfmapH: ih, IfmapW: iw, FiltH: fh, FiltW: fw,
+		Channels: c, NumFilt: m, Stride: s}
+}
+
+// DW builds a depthwise convolution layer.
+func DW(name string, ih, iw, fh, fw, c, s int) Layer {
+	return Layer{Name: name, Kind: DWConv, IfmapH: ih, IfmapW: iw, FiltH: fh, FiltW: fw,
+		Channels: c, NumFilt: c, Stride: s}
+}
+
+// Validate checks the layer's shape for consistency.
+func (l Layer) Validate() error {
+	switch l.Kind {
+	case Conv, DWConv:
+		if l.IfmapH <= 0 || l.IfmapW <= 0 || l.FiltH <= 0 || l.FiltW <= 0 ||
+			l.Channels <= 0 || l.Stride <= 0 {
+			return fmt.Errorf("model: layer %q has non-positive dims", l.Name)
+		}
+		if l.Kind == Conv && l.NumFilt <= 0 {
+			return fmt.Errorf("model: conv layer %q has no filters", l.Name)
+		}
+		if l.FiltH > l.IfmapH || l.FiltW > l.IfmapW {
+			return fmt.Errorf("model: layer %q filter %dx%d larger than ifmap %dx%d",
+				l.Name, l.FiltH, l.FiltW, l.IfmapH, l.IfmapW)
+		}
+	case GEMM:
+		if l.GemmM <= 0 || l.Channels <= 0 || l.NumFilt <= 0 {
+			return fmt.Errorf("model: gemm layer %q has non-positive dims", l.Name)
+		}
+	default:
+		return fmt.Errorf("model: layer %q has unknown kind %d", l.Name, l.Kind)
+	}
+	return nil
+}
+
+// OfmapH returns the output feature-map height (1 for GEMM).
+func (l Layer) OfmapH() int {
+	if l.Kind == GEMM {
+		return l.GemmM
+	}
+	return (l.IfmapH-l.FiltH)/l.Stride + 1
+}
+
+// OfmapW returns the output feature-map width (1 for GEMM).
+func (l Layer) OfmapW() int {
+	if l.Kind == GEMM {
+		return 1
+	}
+	return (l.IfmapW-l.FiltW)/l.Stride + 1
+}
+
+// OutChannels returns the number of output channels.
+func (l Layer) OutChannels() int {
+	switch l.Kind {
+	case DWConv:
+		return l.Channels
+	case GEMM:
+		return l.NumFilt
+	}
+	return l.NumFilt
+}
+
+// IfmapBytes returns the input tensor size in bytes (1 B/element).
+func (l Layer) IfmapBytes() uint64 {
+	if l.Kind == GEMM {
+		return uint64(l.GemmM) * uint64(l.Channels)
+	}
+	return uint64(l.IfmapH) * uint64(l.IfmapW) * uint64(l.Channels)
+}
+
+// WeightBytes returns the weight tensor size in bytes.
+func (l Layer) WeightBytes() uint64 {
+	switch l.Kind {
+	case DWConv:
+		return uint64(l.FiltH) * uint64(l.FiltW) * uint64(l.Channels)
+	case GEMM:
+		return uint64(l.Channels) * uint64(l.NumFilt)
+	}
+	return uint64(l.FiltH) * uint64(l.FiltW) * uint64(l.Channels) * uint64(l.NumFilt)
+}
+
+// OfmapBytes returns the output tensor size in bytes.
+func (l Layer) OfmapBytes() uint64 {
+	return uint64(l.OfmapH()) * uint64(l.OfmapW()) * uint64(l.OutChannels())
+}
+
+// MACs returns the number of multiply-accumulate operations.
+func (l Layer) MACs() uint64 {
+	switch l.Kind {
+	case DWConv:
+		return l.OfmapBytes() * uint64(l.FiltH) * uint64(l.FiltW)
+	case GEMM:
+		return uint64(l.GemmM) * uint64(l.Channels) * uint64(l.NumFilt)
+	}
+	return l.OfmapBytes() * uint64(l.FiltH) * uint64(l.FiltW) * uint64(l.Channels)
+}
+
+// Network is a named sequence of layers.
+type Network struct {
+	Name   string // short name used in the paper's figures (let, alex, ...)
+	Full   string // human-readable name
+	Layers []Layer
+}
+
+// Validate checks every layer.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("model: network %q has no layers", n.Name)
+	}
+	for i, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model: network %q layer %d: %w", n.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalMACs sums MACs over all layers.
+func (n *Network) TotalMACs() uint64 {
+	var s uint64
+	for _, l := range n.Layers {
+		s += l.MACs()
+	}
+	return s
+}
+
+// TotalWeightBytes sums weight bytes over all layers.
+func (n *Network) TotalWeightBytes() uint64 {
+	var s uint64
+	for _, l := range n.Layers {
+		s += l.WeightBytes()
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements SCALE-Sim topology-file interchange, so
+// networks can be imported from (and exported to) the CSV format the
+// paper's simulator consumes:
+//
+//	Layer name, IFMAP Height, IFMAP Width, Filter Height,
+//	Filter Width, Channels, Num Filter, Strides,
+//
+// GEMM layers are encoded the way SCALE-Sim's topology files encode
+// fully-connected layers: IFMAP Height = M, IFMAP Width = 1,
+// 1×1 filters, Channels = K, Num Filter = N. Depthwise layers carry a
+// "dw_" name prefix (a common convention in published topology files).
+
+// csvHeader is the canonical SCALE-Sim column set.
+var csvHeader = []string{
+	"Layer name", "IFMAP Height", "IFMAP Width", "Filter Height",
+	"Filter Width", "Channels", "Num Filter", "Strides",
+}
+
+// dwPrefix marks depthwise layers in topology files.
+const dwPrefix = "dw_"
+
+// WriteTopologyCSV serializes the network in SCALE-Sim format.
+func WriteTopologyCSV(w io.Writer, n *Network) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, l := range n.Layers {
+		var rec []string
+		switch l.Kind {
+		case GEMM:
+			rec = []string{l.Name,
+				strconv.Itoa(l.GemmM), "1", "1", "1",
+				strconv.Itoa(l.Channels), strconv.Itoa(l.NumFilt), "1"}
+		case DWConv:
+			rec = []string{dwPrefix + l.Name,
+				strconv.Itoa(l.IfmapH), strconv.Itoa(l.IfmapW),
+				strconv.Itoa(l.FiltH), strconv.Itoa(l.FiltW),
+				strconv.Itoa(l.Channels), strconv.Itoa(l.Channels),
+				strconv.Itoa(l.Stride)}
+		default:
+			rec = []string{l.Name,
+				strconv.Itoa(l.IfmapH), strconv.Itoa(l.IfmapW),
+				strconv.Itoa(l.FiltH), strconv.Itoa(l.FiltW),
+				strconv.Itoa(l.Channels), strconv.Itoa(l.NumFilt),
+				strconv.Itoa(l.Stride)}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTopologyCSV parses a SCALE-Sim topology file into a network
+// named name. A header row is skipped if present. GEMM layers are
+// recognized by the 1×1-filter + width-1 encoding; the dw_ prefix
+// selects depthwise.
+func ReadTopologyCSV(r io.Reader, name string) (*Network, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // tolerate trailing commas in published files
+	n := &Network{Name: name, Full: name}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model: topology line %d: %w", line+1, err)
+		}
+		line++
+		rec = trimRecord(rec)
+		if len(rec) == 0 {
+			continue
+		}
+		if line == 1 && looksLikeHeader(rec) {
+			continue
+		}
+		l, err := parseTopologyRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("model: topology line %d: %w", line, err)
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func trimRecord(rec []string) []string {
+	out := rec[:0]
+	for _, f := range rec {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func looksLikeHeader(rec []string) bool {
+	if len(rec) == 0 {
+		return false
+	}
+	_, err := strconv.Atoi(rec[len(rec)-1])
+	return err != nil // last field of a data row is the numeric stride
+}
+
+func parseTopologyRecord(rec []string) (Layer, error) {
+	if len(rec) < 8 {
+		return Layer{}, fmt.Errorf("want 8 fields, got %d", len(rec))
+	}
+	nums := make([]int, 7)
+	for i := 0; i < 7; i++ {
+		v, err := strconv.Atoi(rec[i+1])
+		if err != nil {
+			return Layer{}, fmt.Errorf("field %d (%q): %w", i+1, rec[i+1], err)
+		}
+		nums[i] = v
+	}
+	name := rec[0]
+	ih, iw, fh, fw, c, m, s := nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], nums[6]
+
+	if strings.HasPrefix(name, dwPrefix) {
+		return DW(strings.TrimPrefix(name, dwPrefix), ih, iw, fh, fw, c, s), nil
+	}
+	// The SCALE-Sim FC encoding: 1-wide ifmap with 1x1 filters.
+	if iw == 1 && fh == 1 && fw == 1 && s == 1 {
+		return FC(name, ih, c, m), nil
+	}
+	return CV(name, ih, iw, fh, fw, c, m, s), nil
+}

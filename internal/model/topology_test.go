@@ -1,0 +1,104 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTopologyRoundTripAllNetworks(t *testing.T) {
+	for _, n := range All() {
+		var buf bytes.Buffer
+		if err := WriteTopologyCSV(&buf, n); err != nil {
+			t.Fatalf("%s: write: %v", n.Name, err)
+		}
+		back, err := ReadTopologyCSV(&buf, n.Name)
+		if err != nil {
+			t.Fatalf("%s: read: %v", n.Name, err)
+		}
+		if len(back.Layers) != len(n.Layers) {
+			t.Fatalf("%s: %d layers after round trip, want %d",
+				n.Name, len(back.Layers), len(n.Layers))
+		}
+		for i := range n.Layers {
+			a, b := n.Layers[i], back.Layers[i]
+			if a.Kind != b.Kind {
+				t.Errorf("%s layer %d: kind %v -> %v", n.Name, i, a.Kind, b.Kind)
+			}
+			if a.IfmapBytes() != b.IfmapBytes() ||
+				a.WeightBytes() != b.WeightBytes() ||
+				a.OfmapBytes() != b.OfmapBytes() ||
+				a.MACs() != b.MACs() {
+				t.Errorf("%s layer %d (%s): tensor sizes changed in round trip",
+					n.Name, i, a.Name)
+			}
+		}
+	}
+}
+
+func TestReadTopologyHandwritten(t *testing.T) {
+	src := `Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, Channels, Num Filter, Strides,
+conv1, 224, 224, 7, 7, 3, 64, 2,
+dw_dw1, 112, 112, 3, 3, 64, 64, 1,
+fc, 1, 1, 1, 1, 512, 1000, 1,
+`
+	n, err := ReadTopologyCSV(strings.NewReader(src), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(n.Layers))
+	}
+	if n.Layers[0].Kind != Conv || n.Layers[0].NumFilt != 64 || n.Layers[0].Stride != 2 {
+		t.Errorf("conv1 parsed wrong: %+v", n.Layers[0])
+	}
+	if n.Layers[1].Kind != DWConv || n.Layers[1].Name != "dw1" {
+		t.Errorf("dw1 parsed wrong: %+v", n.Layers[1])
+	}
+	if n.Layers[2].Kind != GEMM || n.Layers[2].Channels != 512 || n.Layers[2].NumFilt != 1000 {
+		t.Errorf("fc parsed wrong: %+v", n.Layers[2])
+	}
+}
+
+func TestReadTopologyNoHeader(t *testing.T) {
+	src := "conv1, 32, 32, 5, 5, 1, 6, 1,\n"
+	n, err := ReadTopologyCSV(strings.NewReader(src), "nohdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Layers) != 1 || n.Layers[0].Name != "conv1" {
+		t.Errorf("parsed %+v", n.Layers)
+	}
+}
+
+func TestReadTopologyErrors(t *testing.T) {
+	cases := []string{
+		"conv1, x, 32, 5, 5, 1, 6, 1,\n", // non-numeric
+		"conv1, 32, 32\n",                // too few fields
+		"conv1, 2, 2, 5, 5, 1, 6, 1,\n",  // filter larger than ifmap
+		"",                               // empty -> no layers
+	}
+	for _, src := range cases {
+		if _, err := ReadTopologyCSV(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteTopologyRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTopologyCSV(&buf, &Network{Name: "empty"}); err == nil {
+		t.Error("wrote invalid network")
+	}
+}
+
+func TestTopologyGEMMEncoding(t *testing.T) {
+	n := &Network{Name: "g", Layers: []Layer{FC("fc1", 128, 512, 256)}}
+	var buf bytes.Buffer
+	if err := WriteTopologyCSV(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fc1,128,1,1,1,512,256,1") {
+		t.Errorf("GEMM encoding wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,62 @@
+package nnexec
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ConvIm2col executes the same convolution as Conv via im2col + GEMM
+// lowering: the input patches are unrolled into an (OH·OW) × (R·S·C)
+// matrix and multiplied against the (R·S·C) × M weight matrix. This is
+// the lowering a weight-stationary systolic array effectively
+// performs, and it must produce bit-identical results to the direct
+// loop — a property test in this package asserts exactly that.
+func ConvIm2col(l model.Layer, in *Tensor, w Weights) (*Tensor, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Kind != model.Conv {
+		return nil, fmt.Errorf("nnexec: ConvIm2col called on %s layer %q", l.Kind, l.Name)
+	}
+	if err := checkShape(l, in, w); err != nil {
+		return nil, err
+	}
+
+	oh, ow := l.OfmapH(), l.OfmapW()
+	k := l.FiltH * l.FiltW * l.Channels
+	rows := oh * ow
+
+	// Unroll patches.
+	patches := make([]byte, rows*k)
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for fy := 0; fy < l.FiltH; fy++ {
+				iy := oy*l.Stride + fy
+				for fx := 0; fx < l.FiltW; fx++ {
+					ix := ox*l.Stride + fx
+					src := (iy*in.W + ix) * in.C
+					copy(patches[idx:idx+l.Channels], in.Data[src:src+l.Channels])
+					idx += l.Channels
+				}
+			}
+		}
+	}
+
+	// patches (rows×k) x weights^T: weights are [M][k] filter-major,
+	// so out[r][m] = sum_k patches[r][kk] * w[m][kk].
+	out := NewTensor(oh, ow, l.NumFilt)
+	for r := 0; r < rows; r++ {
+		prow := patches[r*k : (r+1)*k]
+		for m := 0; m < l.NumFilt; m++ {
+			wrow := w.Data[m*k : (m+1)*k]
+			var acc int32
+			for kk := 0; kk < k; kk++ {
+				acc += int32(prow[kk]) * int32(int8(wrow[kk]))
+			}
+			out.Data[r*l.NumFilt+m] = requant(acc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+// Package nnexec is a reference executor for the DNN layers in
+// internal/model, operating on the same 1-byte-per-element
+// quantization Table II specifies. It exists so the functional
+// protection unit can be validated end to end: an inference whose
+// tensors round-trip through encrypted, integrity-checked off-chip
+// memory must produce bit-identical outputs to an unprotected run,
+// and any tampering must surface as a verification error rather than
+// silently corrupted outputs.
+//
+// Arithmetic is uint8 activations × int8 weights with a wrapping
+// int32 accumulator, requantized by an arithmetic shift and offset —
+// a simplified but deterministic fixed-point scheme. Determinism is
+// the property the security tests need; the numerics are not meant to
+// match any particular training framework.
+package nnexec
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Tensor is an activation tensor in NHWC layout (H × W × C), matching
+// the byte layout the timing simulator assumes.
+type Tensor struct {
+	H, W, C int
+	Data    []byte // len == H*W*C
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(h, w, c int) *Tensor {
+	return &Tensor{H: h, W: w, C: c, Data: make([]byte, h*w*c)}
+}
+
+// At returns the element at (y, x, ch).
+func (t *Tensor) At(y, x, ch int) byte {
+	return t.Data[(y*t.W+x)*t.C+ch]
+}
+
+// Set stores the element at (y, x, ch).
+func (t *Tensor) Set(y, x, ch int, v byte) {
+	t.Data[(y*t.W+x)*t.C+ch] = v
+}
+
+// Validate checks the shape against the data length.
+func (t *Tensor) Validate() error {
+	if t.H <= 0 || t.W <= 0 || t.C <= 0 {
+		return fmt.Errorf("nnexec: non-positive tensor dims %dx%dx%d", t.H, t.W, t.C)
+	}
+	if len(t.Data) != t.H*t.W*t.C {
+		return fmt.Errorf("nnexec: tensor data %d != %d*%d*%d", len(t.Data), t.H, t.W, t.C)
+	}
+	return nil
+}
+
+// Weights holds a layer's weight bytes in the layout the simulator
+// assumes: [M][R·S·C] for convolution (filter-major), [K][N]
+// row-major for GEMM, [C][R·S] for depthwise.
+type Weights struct {
+	Data []byte
+}
+
+// requant folds the int32 accumulator back into a byte: arithmetic
+// shift by 8 (dropping the product scale), then wrap. Deterministic
+// and cheap; see the package comment.
+func requant(acc int32) byte {
+	return byte(uint32(acc>>8) & 0xff)
+}
+
+// Conv executes a standard convolution layer. in must have the
+// layer's padded input shape; the output has shape OfmapH × OfmapW ×
+// NumFilt.
+func Conv(l model.Layer, in *Tensor, w Weights) (*Tensor, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Kind != model.Conv {
+		return nil, fmt.Errorf("nnexec: Conv called on %s layer %q", l.Kind, l.Name)
+	}
+	if err := checkShape(l, in, w); err != nil {
+		return nil, err
+	}
+	out := NewTensor(l.OfmapH(), l.OfmapW(), l.NumFilt)
+	fsz := l.FiltH * l.FiltW * l.Channels
+	for oy := 0; oy < out.H; oy++ {
+		for ox := 0; ox < out.W; ox++ {
+			for m := 0; m < l.NumFilt; m++ {
+				var acc int32
+				base := m * fsz
+				for fy := 0; fy < l.FiltH; fy++ {
+					iy := oy*l.Stride + fy
+					for fx := 0; fx < l.FiltW; fx++ {
+						ix := ox*l.Stride + fx
+						inRow := (iy*in.W + ix) * in.C
+						wRow := base + (fy*l.FiltW+fx)*l.Channels
+						for c := 0; c < l.Channels; c++ {
+							acc += int32(in.Data[inRow+c]) * int32(int8(w.Data[wRow+c]))
+						}
+					}
+				}
+				out.Set(oy, ox, m, requant(acc))
+			}
+		}
+	}
+	return out, nil
+}
+
+// DWConv executes a depthwise convolution: channel c of the output
+// depends only on channel c of the input and filter c.
+func DWConv(l model.Layer, in *Tensor, w Weights) (*Tensor, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Kind != model.DWConv {
+		return nil, fmt.Errorf("nnexec: DWConv called on %s layer %q", l.Kind, l.Name)
+	}
+	if err := checkShape(l, in, w); err != nil {
+		return nil, err
+	}
+	out := NewTensor(l.OfmapH(), l.OfmapW(), l.Channels)
+	fsz := l.FiltH * l.FiltW
+	for oy := 0; oy < out.H; oy++ {
+		for ox := 0; ox < out.W; ox++ {
+			for c := 0; c < l.Channels; c++ {
+				var acc int32
+				for fy := 0; fy < l.FiltH; fy++ {
+					iy := oy*l.Stride + fy
+					for fx := 0; fx < l.FiltW; fx++ {
+						ix := ox*l.Stride + fx
+						acc += int32(in.At(iy, ix, c)) *
+							int32(int8(w.Data[c*fsz+fy*l.FiltW+fx]))
+					}
+				}
+				out.Set(oy, ox, c, requant(acc))
+			}
+		}
+	}
+	return out, nil
+}
+
+// GEMM executes a dense M×K by K×N multiply. in is interpreted as an
+// M×K matrix (H=M, W=1, C=K or any shape with M*K elements).
+func GEMM(l model.Layer, in *Tensor, w Weights) (*Tensor, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Kind != model.GEMM {
+		return nil, fmt.Errorf("nnexec: GEMM called on %s layer %q", l.Kind, l.Name)
+	}
+	if len(in.Data) != l.GemmM*l.Channels {
+		return nil, fmt.Errorf("nnexec: gemm %q input %d != M*K %d",
+			l.Name, len(in.Data), l.GemmM*l.Channels)
+	}
+	if len(w.Data) != l.Channels*l.NumFilt {
+		return nil, fmt.Errorf("nnexec: gemm %q weights %d != K*N %d",
+			l.Name, len(w.Data), l.Channels*l.NumFilt)
+	}
+	out := NewTensor(l.GemmM, 1, l.NumFilt)
+	k, n := l.Channels, l.NumFilt
+	for m := 0; m < l.GemmM; m++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for kk := 0; kk < k; kk++ {
+				acc += int32(in.Data[m*k+kk]) * int32(int8(w.Data[kk*n+j]))
+			}
+			out.Data[m*n+j] = requant(acc)
+		}
+	}
+	return out, nil
+}
+
+// Execute dispatches on the layer kind.
+func Execute(l model.Layer, in *Tensor, w Weights) (*Tensor, error) {
+	switch l.Kind {
+	case model.Conv:
+		return Conv(l, in, w)
+	case model.DWConv:
+		return DWConv(l, in, w)
+	case model.GEMM:
+		return GEMM(l, in, w)
+	}
+	return nil, fmt.Errorf("nnexec: unknown layer kind %d", l.Kind)
+}
+
+func checkShape(l model.Layer, in *Tensor, w Weights) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if in.H != l.IfmapH || in.W != l.IfmapW || in.C != l.Channels {
+		return fmt.Errorf("nnexec: layer %q input %dx%dx%d != expected %dx%dx%d",
+			l.Name, in.H, in.W, in.C, l.IfmapH, l.IfmapW, l.Channels)
+	}
+	if uint64(len(w.Data)) != l.WeightBytes() {
+		return fmt.Errorf("nnexec: layer %q weights %d != expected %d",
+			l.Name, len(w.Data), l.WeightBytes())
+	}
+	return nil
+}

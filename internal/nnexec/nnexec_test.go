@@ -1,0 +1,243 @@
+package nnexec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b) //nolint:errcheck
+	return b
+}
+
+func TestTensorAccessors(t *testing.T) {
+	tn := NewTensor(2, 3, 4)
+	if err := tn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tn.Set(1, 2, 3, 0xab)
+	if tn.At(1, 2, 3) != 0xab {
+		t.Error("Set/At round trip failed")
+	}
+	// NHWC layout: (y*W+x)*C+c.
+	if tn.Data[(1*3+2)*4+3] != 0xab {
+		t.Error("layout not NHWC")
+	}
+}
+
+func TestTensorValidate(t *testing.T) {
+	bad := &Tensor{H: 2, W: 2, C: 2, Data: make([]byte, 7)}
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong-length tensor validated")
+	}
+	neg := &Tensor{H: -1, W: 2, C: 2}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative dims validated")
+	}
+}
+
+func TestConvIdentityKernel(t *testing.T) {
+	// 1x1 conv, single channel, weight = 1 in fixed point... with the
+	// requant shift of 8, weight value 1 yields acc>>8 == in>>8 pre-
+	// wrap. Use weight 127 (max int8) on small inputs for a
+	// predictable check: acc = in*127; out = (in*127)>>8.
+	l := model.CV("id", 4, 4, 1, 1, 1, 1, 1)
+	in := NewTensor(4, 4, 1)
+	for i := range in.Data {
+		in.Data[i] = byte(i * 16)
+	}
+	w := Weights{Data: []byte{127}}
+	out, err := Conv(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range in.Data {
+		want := byte((int32(v) * 127) >> 8)
+		if out.Data[i] != want {
+			t.Fatalf("pixel %d = %d, want %d", i, out.Data[i], want)
+		}
+	}
+}
+
+func TestConvKnownSmallCase(t *testing.T) {
+	// 2x2 input, 2x2 filter, 1 channel, 1 filter, stride 1 -> single
+	// output = requant(sum in[i]*w[i]).
+	l := model.CV("k", 2, 2, 2, 2, 1, 1, 1)
+	in := &Tensor{H: 2, W: 2, C: 1, Data: []byte{10, 20, 30, 40}}
+	neg4 := int8(-4)
+	w := Weights{Data: []byte{1, 2, 3, byte(neg4)}}
+	out, err := Conv(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := int32(10*1 + 20*2 + 30*3 + 40*(-4))
+	if out.Data[0] != requant(acc) {
+		t.Errorf("out = %d, want %d (acc %d)", out.Data[0], requant(acc), acc)
+	}
+}
+
+func TestConvMatchesIm2col(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	shapes := []model.Layer{
+		model.CV("a", 8, 8, 3, 3, 4, 8, 1),
+		model.CV("b", 9, 7, 3, 3, 2, 5, 2),
+		model.CV("c", 6, 6, 1, 1, 16, 4, 1),
+		model.CV("d", 12, 12, 5, 5, 3, 6, 2),
+	}
+	for _, l := range shapes {
+		in := &Tensor{H: l.IfmapH, W: l.IfmapW, C: l.Channels,
+			Data: randBytes(r, l.IfmapH*l.IfmapW*l.Channels)}
+		w := Weights{Data: randBytes(r, int(l.WeightBytes()))}
+		direct, err := Conv(l, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowered, err := ConvIm2col(l, in, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(direct.Data, lowered.Data) {
+			t.Errorf("%s: direct and im2col outputs differ", l.Name)
+		}
+	}
+}
+
+func TestConvIm2colPropertyRandomShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func(ih, fh, c, m, s uint8) bool {
+		l := model.CV("p",
+			int(ih%12)+6, int(ih%10)+6,
+			int(fh%3)+1, int(fh%3)+1,
+			int(c%4)+1, int(m%4)+1, int(s%2)+1)
+		if l.Validate() != nil {
+			return true
+		}
+		in := &Tensor{H: l.IfmapH, W: l.IfmapW, C: l.Channels,
+			Data: randBytes(r, l.IfmapH*l.IfmapW*l.Channels)}
+		w := Weights{Data: randBytes(r, int(l.WeightBytes()))}
+		d, err1 := Conv(l, in, w)
+		i2, err2 := ConvIm2col(l, in, w)
+		return err1 == nil && err2 == nil && bytes.Equal(d.Data, i2.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDWConvChannelIndependence(t *testing.T) {
+	// Changing channel 0 of the input must not affect channel 1 of
+	// the output.
+	l := model.DW("dw", 6, 6, 3, 3, 2, 1)
+	r := rand.New(rand.NewSource(3))
+	in := &Tensor{H: 6, W: 6, C: 2, Data: randBytes(r, 72)}
+	w := Weights{Data: randBytes(r, 18)}
+	out1, err := DWConv(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb channel 0 everywhere.
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			in.Set(y, x, 0, in.At(y, x, 0)+1)
+		}
+	}
+	out2, err := DWConv(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < out1.H; y++ {
+		for x := 0; x < out1.W; x++ {
+			if out1.At(y, x, 1) != out2.At(y, x, 1) {
+				t.Fatal("channel 1 output changed when channel 0 input perturbed")
+			}
+		}
+	}
+}
+
+func TestGEMMKnownCase(t *testing.T) {
+	// [1 2; 3 4] x [5 6; 7 8] with int8 weights.
+	l := model.FC("g", 2, 2, 2)
+	in := &Tensor{H: 2, W: 1, C: 2, Data: []byte{1, 2, 3, 4}}
+	w := Weights{Data: []byte{5, 6, 7, 8}} // row-major [K][N]
+	out, err := GEMM(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1*5 + 2*7, 1*6 + 2*8, 3*5 + 4*7, 3*6 + 4*8}
+	for i, acc := range want {
+		if out.Data[i] != requant(acc) {
+			t.Errorf("out[%d] = %d, want %d", i, out.Data[i], requant(acc))
+		}
+	}
+}
+
+func TestGEMMShapeErrors(t *testing.T) {
+	l := model.FC("g", 2, 3, 4)
+	in := NewTensor(2, 1, 2) // wrong K
+	if _, err := GEMM(l, in, Weights{Data: make([]byte, 12)}); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+	in = NewTensor(2, 1, 3)
+	if _, err := GEMM(l, in, Weights{Data: make([]byte, 11)}); err == nil {
+		t.Error("wrong weight size accepted")
+	}
+}
+
+func TestExecuteDispatch(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	conv := model.CV("c", 4, 4, 2, 2, 1, 2, 1)
+	in := &Tensor{H: 4, W: 4, C: 1, Data: randBytes(r, 16)}
+	w := Weights{Data: randBytes(r, int(conv.WeightBytes()))}
+	if _, err := Execute(conv, in, w); err != nil {
+		t.Errorf("conv dispatch: %v", err)
+	}
+	dw := model.DW("d", 4, 4, 2, 2, 2, 1)
+	in2 := &Tensor{H: 4, W: 4, C: 2, Data: randBytes(r, 32)}
+	if _, err := Execute(dw, in2, Weights{Data: randBytes(r, 8)}); err != nil {
+		t.Errorf("dwconv dispatch: %v", err)
+	}
+	g := model.FC("g", 2, 2, 2)
+	in3 := NewTensor(2, 1, 2)
+	if _, err := Execute(g, in3, Weights{Data: make([]byte, 4)}); err != nil {
+		t.Errorf("gemm dispatch: %v", err)
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	conv := model.CV("c", 4, 4, 2, 2, 1, 2, 1)
+	in := NewTensor(4, 4, 1)
+	w := Weights{Data: make([]byte, conv.WeightBytes())}
+	if _, err := DWConv(conv, in, w); err == nil {
+		t.Error("DWConv accepted a conv layer")
+	}
+	if _, err := GEMM(conv, in, w); err == nil {
+		t.Error("GEMM accepted a conv layer")
+	}
+	g := model.FC("g", 2, 2, 2)
+	if _, err := Conv(g, in, w); err == nil {
+		t.Error("Conv accepted a gemm layer")
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	l := model.CV("c", 10, 10, 3, 3, 4, 8, 1)
+	in := &Tensor{H: 10, W: 10, C: 4, Data: randBytes(r, 400)}
+	w := Weights{Data: randBytes(r, int(l.WeightBytes()))}
+	a, err := Execute(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(l, in, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Error("execution not deterministic")
+	}
+}

@@ -1,0 +1,83 @@
+package scalesim
+
+import "fmt"
+
+// Dataflow selects the systolic-array mapping strategy. The paper's
+// evaluation uses the weight-stationary mapping (the TPU-v1 and
+// Exynos NPU style); output- and input-stationary are provided for
+// ablation, with the SCALE-Sim-style analytical runtimes.
+type Dataflow uint8
+
+const (
+	// WeightStationary pins the weight matrix onto the PE array and
+	// streams ifmap pixels through (TPU-style). Default.
+	WeightStationary Dataflow = iota
+	// OutputStationary pins output pixels onto PEs and streams the
+	// reduction dimension through.
+	OutputStationary
+	// InputStationary pins ifmap elements onto the array and streams
+	// weights through.
+	InputStationary
+)
+
+func (d Dataflow) String() string {
+	switch d {
+	case WeightStationary:
+		return "ws"
+	case OutputStationary:
+		return "os"
+	case InputStationary:
+		return "is"
+	}
+	return fmt.Sprintf("dataflow(%d)", uint8(d))
+}
+
+// ParseDataflow converts the short names ws/os/is.
+func ParseDataflow(s string) (Dataflow, error) {
+	switch s {
+	case "ws":
+		return WeightStationary, nil
+	case "os":
+		return OutputStationary, nil
+	case "is":
+		return InputStationary, nil
+	}
+	return 0, fmt.Errorf("scalesim: unknown dataflow %q (want ws, os or is)", s)
+}
+
+// computeCyclesFor applies the analytical runtime of the selected
+// dataflow. All three share the fold structure (tile the stationary
+// matrix onto the array, stream the moving operand per fold with
+// pipeline fill/drain); they differ in which dimensions fold and
+// which streams.
+func (c *Config) computeCyclesFor(d dims, df Dataflow) uint64 {
+	switch df {
+	case OutputStationary:
+		// Output pixels fold onto rows, output channels onto columns;
+		// the reduction dimension streams per fold.
+		foldR := ceilDiv(d.ofmapPx, c.ArrayRows)
+		foldC := ceilDiv(d.wCols, c.ArrayCols)
+		perFold := uint64(d.wRows + c.ArrayRows + c.ArrayCols - 2)
+		return uint64(foldR) * uint64(foldC) * perFold
+	case InputStationary:
+		// Ifmap pixels fold onto rows, reduction onto columns; output
+		// channels stream per fold.
+		foldR := ceilDiv(d.ofmapPx, c.ArrayRows)
+		foldC := ceilDiv(d.wRows, c.ArrayCols)
+		perFold := uint64(2*c.ArrayRows + c.ArrayCols + d.wCols - 2)
+		return uint64(foldR) * uint64(foldC) * perFold
+	default: // WeightStationary
+		return c.computeCycles(d)
+	}
+}
+
+// ComputeCyclesByDataflow returns a layer's analytical compute cycles
+// under each of the three dataflows, for ablation studies.
+func (c *Config) ComputeCyclesByDataflow(lr *LayerResult) map[Dataflow]uint64 {
+	d := layerDims(lr.Layer)
+	return map[Dataflow]uint64{
+		WeightStationary: c.computeCyclesFor(d, WeightStationary),
+		OutputStationary: c.computeCyclesFor(d, OutputStationary),
+		InputStationary:  c.computeCyclesFor(d, InputStationary),
+	}
+}

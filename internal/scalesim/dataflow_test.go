@@ -1,0 +1,83 @@
+package scalesim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestDataflowStrings(t *testing.T) {
+	if WeightStationary.String() != "ws" || OutputStationary.String() != "os" ||
+		InputStationary.String() != "is" {
+		t.Error("dataflow strings wrong")
+	}
+}
+
+func TestParseDataflow(t *testing.T) {
+	for s, want := range map[string]Dataflow{
+		"ws": WeightStationary, "os": OutputStationary, "is": InputStationary,
+	} {
+		got, err := ParseDataflow(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDataflow(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDataflow("nope"); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+}
+
+func TestDataflowCyclesAllPositive(t *testing.T) {
+	cfg := edgeCfg(t)
+	res, err := cfg.SimulateNetwork(model.ByName("rest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Layers {
+		cycles := cfg.ComputeCyclesByDataflow(&res.Layers[i])
+		for df, c := range cycles {
+			if c == 0 {
+				t.Errorf("layer %s: %s cycles = 0", res.Layers[i].Layer.Name, df)
+			}
+		}
+		if cycles[WeightStationary] != res.Layers[i].ComputeCycles {
+			t.Errorf("layer %s: WS ablation cycles != simulated cycles",
+				res.Layers[i].Layer.Name)
+		}
+	}
+}
+
+func TestOutputStationaryWinsOnDeepReduction(t *testing.T) {
+	// A layer with a huge reduction dimension and few outputs: OS
+	// streams the reduction once per fold, so it needs fewer total
+	// cycles than WS, which re-streams the (tiny) output space for
+	// every reduction fold.
+	cfg := edgeCfg(t)
+	l := model.FC("deep", 8, 65536, 8) // M=8, K=65536, N=8
+	lr, err := cfg.SimulateLayer(l, 0, WeightsBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := cfg.ComputeCyclesByDataflow(&lr)
+	if cycles[OutputStationary] >= cycles[WeightStationary] {
+		t.Errorf("OS %d not faster than WS %d on deep-reduction GEMM",
+			cycles[OutputStationary], cycles[WeightStationary])
+	}
+}
+
+func TestWeightStationaryWinsOnWideOutput(t *testing.T) {
+	// Many output pixels, small reduction: WS streams the big output
+	// space once per (small) weight fold; OS folds the output space
+	// onto the array repeatedly, paying fill/drain per fold.
+	cfg := edgeCfg(t)
+	l := model.CV("wide", 226, 226, 3, 3, 3, 32, 1)
+	lr, err := cfg.SimulateLayer(l, 0, WeightsBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := cfg.ComputeCyclesByDataflow(&lr)
+	if cycles[WeightStationary] >= cycles[OutputStationary] {
+		t.Errorf("WS %d not faster than OS %d on wide-output conv",
+			cycles[WeightStationary], cycles[OutputStationary])
+	}
+}

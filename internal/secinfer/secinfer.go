@@ -1,0 +1,231 @@
+// Package secinfer runs complete DNN inferences through the SeDA
+// protection unit: weights are provisioned encrypted and sealed under
+// the model MAC, every activation tensor round-trips through
+// encrypted, integrity-verified off-chip memory, and the layer
+// computation itself runs on the reference executor. A protected
+// inference must produce bit-identical outputs to an unprotected one,
+// and any off-chip tampering must surface as an *core.IntegrityError —
+// the two properties the integration tests assert.
+package secinfer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/nnexec"
+)
+
+// Address-space layout inside the untrusted memory: activations
+// ping-pong between two banks (mirroring the timing simulator's
+// layout); weights are laid out consecutively.
+const (
+	actABase    uint64 = 0x0100_0000
+	actBBase    uint64 = 0x0300_0000
+	weightsBase uint64 = 0x0500_0000
+)
+
+// fmap index tags distinguishing the tensors of one layer.
+const (
+	fmapActivations uint32 = 0
+	fmapWeights     uint32 = 1
+)
+
+// Pipeline is a secure inference engine for one network.
+type Pipeline struct {
+	net     *model.Network
+	unit    *core.Unit
+	optBlk  int
+	weights []nnexec.Weights // plaintext kept only for the unprotected reference
+	wAddrs  []uint64
+	sealed  bool
+}
+
+// New builds a pipeline over net with deterministic weights derived
+// from seed. optBlk is the protection-block granularity used for all
+// tensors (the functional model does not need the timing-level
+// per-layer search to demonstrate correctness).
+func New(net *model.Network, encKey, macKey []byte, seed int64, optBlk int) (*Pipeline, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if optBlk <= 0 {
+		return nil, fmt.Errorf("secinfer: optBlk %d must be positive", optBlk)
+	}
+	unit, err := core.NewUnit(encKey, macKey, core.NewMemory())
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{net: net, unit: unit, optBlk: optBlk}
+	r := rand.New(rand.NewSource(seed))
+	var off uint64
+	for _, l := range net.Layers {
+		w := make([]byte, l.WeightBytes())
+		r.Read(w) //nolint:errcheck
+		p.weights = append(p.weights, nnexec.Weights{Data: w})
+		p.wAddrs = append(p.wAddrs, weightsBase+off)
+		off += l.WeightBytes()
+	}
+	return p, nil
+}
+
+// Unit exposes the protection unit (attack simulations corrupt its
+// memory).
+func (p *Pipeline) Unit() *core.Unit { return p.unit }
+
+// Provision writes every layer's weights into untrusted memory
+// encrypted, and seals them all under the on-chip model MAC.
+func (p *Pipeline) Provision() error {
+	if p.sealed {
+		return fmt.Errorf("secinfer: already provisioned")
+	}
+	for i, l := range p.net.Layers {
+		id := core.FmapID{Layer: uint32(i), Fmap: fmapWeights}
+		if err := p.unit.WriteFmap(id, p.wAddrs[i], p.weights[i].Data, p.optBlk); err != nil {
+			return fmt.Errorf("secinfer: provisioning %s: %w", l.Name, err)
+		}
+		if err := p.unit.SealFmap(id); err != nil {
+			return err
+		}
+	}
+	p.sealed = true
+	return nil
+}
+
+// Infer runs the network on input with every tensor round-tripping
+// through protected off-chip memory, then verifies the model MAC over
+// the weights. Returns the final activation tensor.
+func (p *Pipeline) Infer(input *nnexec.Tensor) (*nnexec.Tensor, error) {
+	if !p.sealed {
+		return nil, fmt.Errorf("secinfer: Provision must run before Infer")
+	}
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	act := input
+	for i, l := range p.net.Layers {
+		act = adaptTo(act, l)
+
+		// Spill the layer input to protected off-chip memory and read
+		// it back verified — the accelerator's ifmap fetch.
+		actID := core.FmapID{Layer: uint32(i), Fmap: fmapActivations}
+		actAddr := actBase(i)
+		if err := p.unit.WriteFmap(actID, actAddr, act.Data, p.optBlk); err != nil {
+			return nil, err
+		}
+		fetched, err := p.unit.ReadFmap(actID, actAddr, len(act.Data), p.optBlk)
+		if err != nil {
+			return nil, fmt.Errorf("secinfer: layer %s ifmap: %w", l.Name, err)
+		}
+		act = &nnexec.Tensor{H: act.H, W: act.W, C: act.C, Data: fetched}
+
+		// Fetch the layer's weights through the verified path too.
+		wID := core.FmapID{Layer: uint32(i), Fmap: fmapWeights}
+		wBytes, err := p.unit.ReadFmap(wID, p.wAddrs[i], len(p.weights[i].Data), p.optBlk)
+		if err != nil {
+			return nil, fmt.Errorf("secinfer: layer %s weights: %w", l.Name, err)
+		}
+
+		out, err := nnexec.Execute(l, act, nnexec.Weights{Data: wBytes})
+		if err != nil {
+			return nil, fmt.Errorf("secinfer: layer %s: %w", l.Name, err)
+		}
+		act = out
+	}
+
+	// End-of-inference model-level check over all weights (§III-C:
+	// "verification results available only at the end of model
+	// inference").
+	if err := p.unit.VerifyModel(func(id core.FmapID) (uint64, int, int) {
+		return p.wAddrs[id.Layer], len(p.weights[id.Layer].Data), p.optBlk
+	}); err != nil {
+		return nil, err
+	}
+	return act, nil
+}
+
+// ReferenceInfer runs the same computation with no protection at all,
+// for bit-exactness comparison.
+func (p *Pipeline) ReferenceInfer(input *nnexec.Tensor) (*nnexec.Tensor, error) {
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	act := input
+	for _, l := range p.net.Layers {
+		act = adaptTo(act, l)
+		idx := layerIndex(p.net, l)
+		out, err := nnexec.Execute(l, act, p.weights[idx])
+		if err != nil {
+			return nil, err
+		}
+		act = out
+	}
+	return act, nil
+}
+
+func layerIndex(n *model.Network, l model.Layer) int {
+	for i := range n.Layers {
+		if n.Layers[i].Name == l.Name {
+			return i
+		}
+	}
+	return -1
+}
+
+func actBase(layer int) uint64 {
+	if layer%2 == 0 {
+		return actABase
+	}
+	return actBBase
+}
+
+// adaptTo reshapes the previous layer's output into the shape the
+// next layer expects, standing in for the pooling/flatten/padding
+// steps the layer tables fold away: 2×2 max-pool while the spatial
+// dims are at least double the target, then center-crop or zero-pad,
+// then channel-crop or zero-pad. GEMM layers flatten to M×K.
+func adaptTo(t *nnexec.Tensor, l model.Layer) *nnexec.Tensor {
+	if l.Kind == model.GEMM {
+		want := l.GemmM * l.Channels
+		out := nnexec.NewTensor(l.GemmM, 1, l.Channels)
+		n := copy(out.Data, t.Data)
+		_ = n // shorter inputs zero-pad; longer inputs truncate
+		_ = want
+		return out
+	}
+	for t.H >= 2*l.IfmapH && t.W >= 2*l.IfmapW {
+		t = maxPool2(t)
+	}
+	if t.H == l.IfmapH && t.W == l.IfmapW && t.C == l.Channels {
+		return t
+	}
+	out := nnexec.NewTensor(l.IfmapH, l.IfmapW, l.Channels)
+	for y := 0; y < l.IfmapH && y < t.H; y++ {
+		for x := 0; x < l.IfmapW && x < t.W; x++ {
+			for c := 0; c < l.Channels && c < t.C; c++ {
+				out.Set(y, x, c, t.At(y, x, c))
+			}
+		}
+	}
+	return out
+}
+
+// maxPool2 applies a 2×2 stride-2 max pool.
+func maxPool2(t *nnexec.Tensor) *nnexec.Tensor {
+	out := nnexec.NewTensor(t.H/2, t.W/2, t.C)
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			for c := 0; c < t.C; c++ {
+				m := t.At(2*y, 2*x, c)
+				for _, v := range []byte{t.At(2*y, 2*x+1, c), t.At(2*y+1, 2*x, c), t.At(2*y+1, 2*x+1, c)} {
+					if v > m {
+						m = v
+					}
+				}
+				out.Set(y, x, c, m)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package secinfer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/nnexec"
+)
+
+var (
+	encKey = []byte("0123456789abcdef")
+	macKey = []byte("secinfer-mac-key")
+)
+
+// tinyNet is a 3-layer network small enough for exhaustive functional
+// testing.
+func tinyNet() *model.Network {
+	return &model.Network{
+		Name: "tiny", Full: "tiny test net",
+		Layers: []model.Layer{
+			model.CV("c1", 12, 12, 3, 3, 2, 4, 1),
+			model.CV("c2", 10, 10, 3, 3, 4, 4, 1),
+			model.FC("fc", 1, 256, 10),
+		},
+	}
+}
+
+func tinyInput(seed int64) *nnexec.Tensor {
+	r := rand.New(rand.NewSource(seed))
+	t := nnexec.NewTensor(12, 12, 2)
+	r.Read(t.Data) //nolint:errcheck
+	return t
+}
+
+func newPipeline(t *testing.T, net *model.Network) *Pipeline {
+	t.Helper()
+	p, err := New(net, encKey, macKey, 42, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProtectedMatchesReference(t *testing.T) {
+	p := newPipeline(t, tinyNet())
+	in := tinyInput(1)
+	prot, err := p.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.ReferenceInfer(tinyInput(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prot.Data, ref.Data) {
+		t.Fatal("protected inference output differs from unprotected reference")
+	}
+	if prot.C != 10 {
+		t.Errorf("output channels = %d, want 10", prot.C)
+	}
+}
+
+func TestLeNetEndToEnd(t *testing.T) {
+	p := newPipeline(t, model.LeNet())
+	in := nnexec.NewTensor(32, 32, 1)
+	r := rand.New(rand.NewSource(7))
+	r.Read(in.Data) //nolint:errcheck
+
+	prot, err := p.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := nnexec.NewTensor(32, 32, 1)
+	copy(in2.Data, in.Data)
+	ref, err := p.ReferenceInfer(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prot.Data, ref.Data) {
+		t.Fatal("LeNet protected output differs from reference")
+	}
+	if len(prot.Data) != 10 {
+		t.Errorf("LeNet output size = %d, want 10 classes", len(prot.Data))
+	}
+}
+
+func TestInferWithoutProvisionFails(t *testing.T) {
+	p, err := New(tinyNet(), encKey, macKey, 42, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Infer(tinyInput(1)); err == nil {
+		t.Fatal("inference ran without provisioning")
+	}
+}
+
+func TestDoubleProvisionFails(t *testing.T) {
+	p := newPipeline(t, tinyNet())
+	if err := p.Provision(); err == nil {
+		t.Fatal("double provisioning accepted")
+	}
+}
+
+func TestWeightTamperDetectedDuringInference(t *testing.T) {
+	p := newPipeline(t, tinyNet())
+	// Corrupt one byte of layer 1's encrypted weights in untrusted
+	// memory.
+	p.Unit().Memory().Corrupt(weightsBase+100, 0x01)
+	_, err := p.Infer(tinyInput(2))
+	if err == nil {
+		t.Fatal("weight tamper not detected")
+	}
+	var ie *core.IntegrityError
+	if !asIntegrityError(err, &ie) {
+		t.Fatalf("error is not an IntegrityError: %v", err)
+	}
+}
+
+func TestWeightSwapDetected(t *testing.T) {
+	p := newPipeline(t, tinyNet())
+	// RePA against the provisioned weights: swap two 256B blocks.
+	p.Unit().Memory().SwapRegions(weightsBase, weightsBase+256, 256)
+	if _, err := p.Infer(tinyInput(3)); err == nil {
+		t.Fatal("weight block swap not detected")
+	}
+}
+
+func TestCleanRunAfterTamperedRunStillDetects(t *testing.T) {
+	// Detection state must not be corrupted by a failed inference.
+	p := newPipeline(t, tinyNet())
+	snapshot := p.Unit().Memory().Snapshot(weightsBase, 256)
+	p.Unit().Memory().Corrupt(weightsBase+10, 0xff)
+	if _, err := p.Infer(tinyInput(4)); err == nil {
+		t.Fatal("tamper not detected")
+	}
+	// Attacker restores the original bytes: inference works again.
+	p.Unit().Memory().Replay(weightsBase, snapshot)
+	if _, err := p.Infer(tinyInput(4)); err != nil {
+		t.Fatalf("restored memory still failing: %v", err)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := newPipeline(t, tinyNet())
+	out1, err := p.Infer(tinyInput(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := p.Infer(tinyInput(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Data, out2.Data) {
+		t.Fatal("repeated inference differs")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(tinyNet(), encKey, macKey, 1, 0); err == nil {
+		t.Error("optBlk 0 accepted")
+	}
+	if _, err := New(&model.Network{Name: "empty"}, encKey, macKey, 1, 64); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := New(tinyNet(), []byte("short"), macKey, 1, 64); err == nil {
+		t.Error("bad key accepted")
+	}
+}
+
+func TestAdaptPoolAndPad(t *testing.T) {
+	// 24x24x2 -> conv expecting 12x12x2: one max-pool.
+	src := nnexec.NewTensor(24, 24, 2)
+	for i := range src.Data {
+		src.Data[i] = byte(i)
+	}
+	l := model.CV("c", 12, 12, 3, 3, 2, 1, 1)
+	out := adaptTo(src, l)
+	if out.H != 12 || out.W != 12 || out.C != 2 {
+		t.Fatalf("adapted shape %dx%dx%d", out.H, out.W, out.C)
+	}
+	// Channel padding: 12x12x1 -> 12x12x3 zero-pads channels 1,2.
+	small := nnexec.NewTensor(12, 12, 1)
+	for i := range small.Data {
+		small.Data[i] = 9
+	}
+	l3 := model.CV("c3", 12, 12, 3, 3, 3, 1, 1)
+	padded := adaptTo(small, l3)
+	if padded.At(0, 0, 0) != 9 || padded.At(0, 0, 1) != 0 || padded.At(0, 0, 2) != 0 {
+		t.Error("channel zero-padding wrong")
+	}
+}
+
+func TestMaxPool2(t *testing.T) {
+	src := nnexec.NewTensor(4, 4, 1)
+	vals := []byte{
+		1, 5, 2, 0,
+		3, 4, 9, 1,
+		0, 0, 7, 8,
+		2, 1, 6, 5,
+	}
+	copy(src.Data, vals)
+	out := maxPool2(src)
+	want := []byte{5, 9, 2, 8}
+	if !bytes.Equal(out.Data, want) {
+		t.Errorf("pooled = %v, want %v", out.Data, want)
+	}
+}
+
+// asIntegrityError unwraps err looking for a *core.IntegrityError.
+func asIntegrityError(err error, target **core.IntegrityError) bool {
+	for err != nil {
+		if ie, ok := err.(*core.IntegrityError); ok {
+			*target = ie
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

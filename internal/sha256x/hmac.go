@@ -1,0 +1,52 @@
+package sha256x
+
+import "encoding/binary"
+
+// HMAC computes HMAC-SHA256(key, msg) per RFC 2104.
+func HMAC(key, msg []byte) [Size]byte {
+	var k0 [BlockSize]byte
+	if len(key) > BlockSize {
+		sum := Sum256(key)
+		copy(k0[:], sum[:])
+	} else {
+		copy(k0[:], key)
+	}
+	var ipad, opad [BlockSize]byte
+	for i := 0; i < BlockSize; i++ {
+		ipad[i] = k0[i] ^ 0x36
+		opad[i] = k0[i] ^ 0x5c
+	}
+	inner := New()
+	inner.Write(ipad[:]) //nolint:errcheck // cannot fail
+	inner.Write(msg)     //nolint:errcheck // cannot fail
+	innerSum := inner.Sum(nil)
+	outer := New()
+	outer.Write(opad[:])  //nolint:errcheck // cannot fail
+	outer.Write(innerSum) //nolint:errcheck // cannot fail
+	var out [Size]byte
+	copy(out[:], outer.Sum(nil))
+	return out
+}
+
+// MACSize is the width of the truncated per-block message
+// authentication codes carried as security metadata (8 bytes, matching
+// the paper's 64-bit MACs).
+const MACSize = 8
+
+// MAC is a truncated 64-bit block MAC, represented as a uint64 so the
+// XOR-MAC aggregation in package xormac is a single machine op.
+type MAC uint64
+
+// TruncMAC computes the 64-bit truncated HMAC-SHA256 of msg under key.
+func TruncMAC(key, msg []byte) MAC {
+	full := HMAC(key, msg)
+	return MAC(binary.BigEndian.Uint64(full[:8]))
+}
+
+// Bytes returns the big-endian byte representation of the MAC, the
+// form in which it is stored in off-chip metadata space.
+func (m MAC) Bytes() [MACSize]byte {
+	var b [MACSize]byte
+	binary.BigEndian.PutUint64(b[:], uint64(m))
+	return b
+}

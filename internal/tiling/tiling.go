@@ -1,0 +1,126 @@
+// Package tiling provides the protection-block geometry analysis that
+// SeDA's software half relies on: over-fetch accounting when access
+// runs are misaligned with protection-block boundaries, read-modify-
+// write costs for partial block writes, and the intra-/inter-layer
+// tiling-pattern comparison of Fig. 3(b).
+//
+// The key observation from the paper: coarse protection blocks (512 B)
+// cut metadata traffic but cost extra data traffic whenever a tile's
+// contiguous runs don't align with block boundaries, because
+// en/decryption and MAC verification operate on whole blocks. Fine
+// blocks (64 B) align with everything but multiply metadata. SeDA
+// sidesteps the dilemma by choosing per-layer block sizes that divide
+// the tile runs exactly.
+package tiling
+
+// RoundDown returns addr rounded down to a multiple of block.
+func RoundDown(addr, block uint64) uint64 { return addr - addr%block }
+
+// RoundUp returns addr rounded up to a multiple of block.
+func RoundUp(addr, block uint64) uint64 {
+	if r := addr % block; r != 0 {
+		return addr + block - r
+	}
+	return addr
+}
+
+// BlocksTouched returns how many protection blocks of size block the
+// byte run [addr, addr+n) overlaps. A zero-length run touches none.
+func BlocksTouched(addr, n, block uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return (RoundUp(addr+n, block) - RoundDown(addr, block)) / block
+}
+
+// ReadOverFetch returns the extra bytes that must be fetched (and
+// decrypted and verified) beyond the run itself when reads happen at
+// whole-protection-block granularity.
+func ReadOverFetch(addr, n, block uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return BlocksTouched(addr, n, block)*block - n
+}
+
+// WriteRMWBytes returns the bytes that must be *read* to complete a
+// write of [addr, addr+n): partially covered head/tail blocks need
+// their uncovered bytes fetched so the block MAC can be recomputed
+// (read-modify-write). Fully covered blocks cost nothing extra.
+func WriteRMWBytes(addr, n, block uint64) uint64 {
+	return ReadOverFetch(addr, n, block) // uncovered bytes of head+tail
+}
+
+// Aligned reports whether the run [addr, addr+n) starts and ends on
+// block boundaries, i.e. incurs no over-fetch and no RMW.
+func Aligned(addr, n, block uint64) bool {
+	return addr%block == 0 && n%block == 0
+}
+
+// Pattern summarizes the tiling pattern a tensor is accessed with: the
+// contiguous run length and how runs advance. Producer (ofmap of layer
+// i) and consumer (ifmap of layer i+1) patterns generally differ —
+// different tile heights, different channel grouping — which is the
+// inter-layer mismatch the paper's Fig. 3(b) illustrates.
+type Pattern struct {
+	RunBytes    int // contiguous bytes per access run
+	RunsPerTile int
+	TileCount   int
+}
+
+// SameShape reports whether two patterns have identical run geometry.
+func (p Pattern) SameShape(q Pattern) bool {
+	return p.RunBytes == q.RunBytes && p.RunsPerTile == q.RunsPerTile &&
+		p.TileCount == q.TileCount
+}
+
+// CommonBlock returns the largest block size that divides both
+// patterns' run lengths and does not exceed maxBlock. This is the
+// inter-layer-aware block choice: a protection block that aligns with
+// *both* the producer's writes and the consumer's reads never incurs
+// over-fetch or RMW on either side. The result is at least minBlock
+// (the hardware's smallest protection unit); if the true GCD is
+// smaller than minBlock, minBlock is returned and callers must accept
+// residual misalignment.
+func CommonBlock(p, q Pattern, minBlock, maxBlock int) int {
+	g := gcd(p.RunBytes, q.RunBytes)
+	if g > maxBlock {
+		// Use the largest divisor of g that fits under maxBlock.
+		g = largestDivisorAtMost(g, maxBlock)
+	}
+	if g < minBlock {
+		return minBlock
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a <= 0 {
+		return 1
+	}
+	return a
+}
+
+// largestDivisorAtMost returns the largest divisor of n that is <=
+// limit (n, limit >= 1).
+func largestDivisorAtMost(n, limit int) int {
+	if n <= limit {
+		return n
+	}
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		if d <= limit && d > best {
+			best = d
+		}
+		if q := n / d; q <= limit && q > best {
+			best = q
+		}
+	}
+	return best
+}

@@ -1,0 +1,176 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRounding(t *testing.T) {
+	if RoundDown(100, 64) != 64 || RoundDown(64, 64) != 64 || RoundDown(63, 64) != 0 {
+		t.Error("RoundDown wrong")
+	}
+	if RoundUp(100, 64) != 128 || RoundUp(64, 64) != 64 || RoundUp(1, 64) != 64 {
+		t.Error("RoundUp wrong")
+	}
+}
+
+func TestBlocksTouched(t *testing.T) {
+	cases := []struct {
+		addr, n, block, want uint64
+	}{
+		{0, 64, 64, 1},
+		{0, 65, 64, 2},
+		{63, 2, 64, 2},
+		{64, 64, 64, 1},
+		{0, 512, 64, 8},
+		{10, 0, 64, 0},
+		{100, 1, 512, 1},
+		{511, 2, 512, 2},
+	}
+	for _, c := range cases {
+		if got := BlocksTouched(c.addr, c.n, c.block); got != c.want {
+			t.Errorf("BlocksTouched(%d,%d,%d) = %d, want %d", c.addr, c.n, c.block, got, c.want)
+		}
+	}
+}
+
+func TestReadOverFetch(t *testing.T) {
+	// Aligned run: no over-fetch.
+	if got := ReadOverFetch(0, 512, 512); got != 0 {
+		t.Errorf("aligned overfetch = %d", got)
+	}
+	// 300B run inside one 512B block: fetch 512, overfetch 212.
+	if got := ReadOverFetch(0, 300, 512); got != 212 {
+		t.Errorf("overfetch = %d, want 212", got)
+	}
+	// Straddling: [500, 600) with 512B blocks touches 2 blocks = 1024.
+	if got := ReadOverFetch(500, 100, 512); got != 924 {
+		t.Errorf("straddle overfetch = %d, want 924", got)
+	}
+	// Finer blocks reduce over-fetch for the same run.
+	if f64, f512 := ReadOverFetch(500, 100, 64), ReadOverFetch(500, 100, 512); f64 >= f512 {
+		t.Errorf("64B overfetch %d >= 512B overfetch %d", f64, f512)
+	}
+}
+
+func TestOverFetchProperty(t *testing.T) {
+	f := func(addr uint32, n uint16, blkExp uint8) bool {
+		block := uint64(64) << (blkExp % 5) // 64..1024
+		a, ln := uint64(addr), uint64(n)
+		of := ReadOverFetch(a, ln, block)
+		if ln == 0 {
+			return of == 0
+		}
+		// Over-fetch is bounded by 2*(block-1) and the fetched span is
+		// exactly blocks*block.
+		return of < 2*block && BlocksTouched(a, ln, block)*block == ln+of
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteRMW(t *testing.T) {
+	// Fully covered block: no RMW.
+	if got := WriteRMWBytes(512, 512, 512); got != 0 {
+		t.Errorf("aligned write RMW = %d", got)
+	}
+	// Partial write needs the uncovered remainder read back.
+	if got := WriteRMWBytes(0, 100, 512); got != 412 {
+		t.Errorf("partial write RMW = %d, want 412", got)
+	}
+}
+
+func TestAligned(t *testing.T) {
+	if !Aligned(0, 512, 64) || !Aligned(128, 256, 64) {
+		t.Error("aligned runs reported misaligned")
+	}
+	if Aligned(1, 512, 64) || Aligned(0, 100, 64) {
+		t.Error("misaligned runs reported aligned")
+	}
+}
+
+func TestPatternSameShape(t *testing.T) {
+	p := Pattern{RunBytes: 224, RunsPerTile: 64, TileCount: 4}
+	if !p.SameShape(p) {
+		t.Error("pattern not equal to itself")
+	}
+	q := p
+	q.RunBytes = 112
+	if p.SameShape(q) {
+		t.Error("different run bytes reported same")
+	}
+}
+
+func TestCommonBlockExactDivisor(t *testing.T) {
+	// Producer writes 1024B runs, consumer reads 768B runs: gcd 256.
+	p := Pattern{RunBytes: 1024}
+	q := Pattern{RunBytes: 768}
+	if got := CommonBlock(p, q, 64, 4096); got != 256 {
+		t.Errorf("CommonBlock = %d, want 256", got)
+	}
+}
+
+func TestCommonBlockRespectsMax(t *testing.T) {
+	p := Pattern{RunBytes: 8192}
+	q := Pattern{RunBytes: 8192}
+	got := CommonBlock(p, q, 64, 4096)
+	if got > 4096 {
+		t.Errorf("CommonBlock = %d exceeds max", got)
+	}
+	if 8192%got != 0 {
+		t.Errorf("CommonBlock = %d does not divide runs", got)
+	}
+	if got != 4096 {
+		t.Errorf("CommonBlock = %d, want 4096", got)
+	}
+}
+
+func TestCommonBlockRespectsMin(t *testing.T) {
+	// Coprime run lengths: gcd 1, clamped to minBlock.
+	p := Pattern{RunBytes: 7}
+	q := Pattern{RunBytes: 13}
+	if got := CommonBlock(p, q, 64, 4096); got != 64 {
+		t.Errorf("CommonBlock = %d, want min 64", got)
+	}
+}
+
+func TestCommonBlockDividesBothWhenPossible(t *testing.T) {
+	f := func(a, b uint16) bool {
+		pa := int(a%4096) + 64
+		pb := int(b%4096) + 64
+		got := CommonBlock(Pattern{RunBytes: pa}, Pattern{RunBytes: pb}, 64, 4096)
+		if got < 64 || got > 4096 {
+			return false
+		}
+		g := gcd(pa, pb)
+		if g >= 64 {
+			// When a usable common divisor exists, the result must
+			// divide both runs.
+			d := largestDivisorAtMost(g, 4096)
+			if d >= 64 {
+				return pa%got == 0 && pb%got == 0
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestDivisorAtMost(t *testing.T) {
+	cases := []struct{ n, limit, want int }{
+		{100, 100, 100},
+		{100, 99, 50},
+		{100, 49, 25},
+		{7, 6, 1},
+		{64, 64, 64},
+		{4096, 100, 64},
+	}
+	for _, c := range cases {
+		if got := largestDivisorAtMost(c.n, c.limit); got != c.want {
+			t.Errorf("largestDivisorAtMost(%d,%d) = %d, want %d", c.n, c.limit, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package trace defines the DRAM access-trace representation shared
+// between the systolic-array simulator (which produces traces), the
+// memory-protection simulator (which augments them with security
+// metadata accesses), and the DRAM timing simulator (which consumes
+// them). It mirrors the role of SCALE-Sim's DRAM trace files in the
+// paper's evaluation pipeline (§IV-A).
+package trace
+
+import "fmt"
+
+// Kind distinguishes reads from writes.
+type Kind uint8
+
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Class tags what an access carries, so overhead can be attributed.
+type Class uint8
+
+const (
+	// Data is baseline tensor traffic (ifmap/weights/ofmap).
+	Data Class = iota
+	// MACMeta is per-block message-authentication-code traffic.
+	MACMeta
+	// VNMeta is version-number (counter) traffic.
+	VNMeta
+	// TreeMeta is integrity-tree interior-node traffic.
+	TreeMeta
+	// OverFetch is extra data traffic caused by protection-block
+	// granularity mismatch with the tile geometry (partial blocks
+	// rounded up to block boundaries).
+	OverFetch
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case Data:
+		return "data"
+	case MACMeta:
+		return "mac"
+	case VNMeta:
+		return "vn"
+	case TreeMeta:
+		return "tree"
+	case OverFetch:
+		return "overfetch"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Tensor identifies which operand stream an access belongs to.
+type Tensor uint8
+
+const (
+	IFMap Tensor = iota
+	Weights
+	OFMap
+	Metadata
+)
+
+func (t Tensor) String() string {
+	switch t {
+	case IFMap:
+		return "ifmap"
+	case Weights:
+		return "weights"
+	case OFMap:
+		return "ofmap"
+	case Metadata:
+		return "meta"
+	}
+	return fmt.Sprintf("tensor(%d)", uint8(t))
+}
+
+// Access is one DRAM request. Addr is a byte address; Bytes is the
+// request size (the DRAM model splits it into 64B bursts). Cycle is
+// the accelerator-side issue time, used by the DRAM model to bound
+// how early the request may be scheduled.
+type Access struct {
+	Cycle  uint64
+	Addr   uint64
+	Bytes  uint32
+	Kind   Kind
+	Class  Class
+	Tensor Tensor
+	Layer  uint16
+	Tile   uint32
+}
+
+// Trace is an ordered sequence of accesses plus summary statistics.
+type Trace struct {
+	Accesses []Access
+}
+
+// Append adds an access.
+func (t *Trace) Append(a Access) { t.Accesses = append(t.Accesses, a) }
+
+// AppendAll concatenates another trace.
+func (t *Trace) AppendAll(o *Trace) {
+	t.Accesses = append(t.Accesses, o.Accesses...)
+}
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Stats summarizes a trace's byte counts.
+type Stats struct {
+	ReadBytes      uint64
+	WriteBytes     uint64
+	BytesByClass   [int(numClasses)]uint64
+	AccessCount    uint64
+	DataAccesses   uint64
+	MetaAccesses   uint64
+	HighestCycle   uint64
+	DistinctLayers int
+}
+
+// TotalBytes returns read + write bytes.
+func (s Stats) TotalBytes() uint64 { return s.ReadBytes + s.WriteBytes }
+
+// DataBytes returns bytes attributed to baseline tensor traffic.
+func (s Stats) DataBytes() uint64 { return s.BytesByClass[Data] }
+
+// MetaBytes returns bytes of all security-metadata classes plus
+// over-fetch (everything a protection scheme added).
+func (s Stats) MetaBytes() uint64 {
+	return s.BytesByClass[MACMeta] + s.BytesByClass[VNMeta] +
+		s.BytesByClass[TreeMeta] + s.BytesByClass[OverFetch]
+}
+
+// ComputeStats walks the trace and summarizes it.
+func (t *Trace) ComputeStats() Stats {
+	var s Stats
+	layers := make(map[uint16]struct{})
+	for _, a := range t.Accesses {
+		s.AccessCount++
+		if a.Kind == Read {
+			s.ReadBytes += uint64(a.Bytes)
+		} else {
+			s.WriteBytes += uint64(a.Bytes)
+		}
+		s.BytesByClass[a.Class] += uint64(a.Bytes)
+		if a.Class == Data {
+			s.DataAccesses++
+		} else {
+			s.MetaAccesses++
+		}
+		if a.Cycle > s.HighestCycle {
+			s.HighestCycle = a.Cycle
+		}
+		layers[a.Layer] = struct{}{}
+	}
+	s.DistinctLayers = len(layers)
+	return s
+}

@@ -1,0 +1,109 @@
+// Package seda is the public API of the SeDA reproduction: it wires
+// the systolic-array simulator, the memory-protection schemes and the
+// DRAM timing model into the evaluation pipeline of the paper's §IV
+// and exposes the two NPU configurations of Table II.
+//
+// Typical use:
+//
+//	npu := seda.ServerNPU()
+//	rows, err := seda.RunNetwork(npu, model.ByName("rest"))
+//	// rows contains normalized traffic and performance per scheme.
+package seda
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/memprot"
+	"repro/internal/scalesim"
+)
+
+// NPUConfig describes an accelerator platform (Table II).
+type NPUConfig struct {
+	Name       string
+	ArrayRows  int
+	ArrayCols  int
+	SRAMBytes  int
+	FreqHz     float64
+	BandwidthB float64 // aggregate DRAM bandwidth in bytes/s
+	Channels   int
+}
+
+// ServerNPU returns the Google TPU v1-like configuration:
+// 256×256 PEs, 24 MB SRAM, 1 GHz, 20 GB/s over four 64-bit channels.
+func ServerNPU() NPUConfig {
+	return NPUConfig{
+		Name:       "server",
+		ArrayRows:  256,
+		ArrayCols:  256,
+		SRAMBytes:  24 * 1024 * 1024,
+		FreqHz:     1e9,
+		BandwidthB: 20e9,
+		Channels:   4,
+	}
+}
+
+// EdgeNPU returns the Samsung Exynos 990-like configuration:
+// 32×32 PEs, 480 KB SRAM, 2.75 GHz, 10 GB/s over four channels.
+func EdgeNPU() NPUConfig {
+	return NPUConfig{
+		Name:       "edge",
+		ArrayRows:  32,
+		ArrayCols:  32,
+		SRAMBytes:  480 * 1024,
+		FreqHz:     2.75e9,
+		BandwidthB: 10e9,
+		Channels:   4,
+	}
+}
+
+// Validate checks the configuration.
+func (c NPUConfig) Validate() error {
+	if c.ArrayRows <= 0 || c.ArrayCols <= 0 || c.SRAMBytes <= 0 {
+		return fmt.Errorf("seda: non-positive compute config %+v", c)
+	}
+	if c.FreqHz <= 0 || c.BandwidthB <= 0 || c.Channels <= 0 {
+		return fmt.Errorf("seda: non-positive memory config %+v", c)
+	}
+	return nil
+}
+
+// arrayConfig builds the systolic-array simulator configuration.
+func (c NPUConfig) arrayConfig() (*scalesim.Config, error) {
+	return scalesim.New(c.ArrayRows, c.ArrayCols, c.SRAMBytes)
+}
+
+// dramConfig derives the DRAM timing model in accelerator cycles:
+// burst time comes from the per-channel share of the aggregate
+// bandwidth, and the DDR latencies (expressed in nanoseconds by the
+// template) are scaled by the accelerator clock.
+func (c NPUConfig) dramConfig() dram.Config {
+	cfg := dram.DDR4Like(c.Channels)
+	perChan := c.BandwidthB / float64(c.Channels)
+	scale := c.FreqHz / 1e9 // template latencies are in ns
+
+	burst := uint64(float64(cfg.BurstBytes) / perChan * c.FreqHz)
+	if burst == 0 {
+		burst = 1
+	}
+	cfg.TBurst = burst
+	cfg.TCL = scaleNS(cfg.TCL, scale)
+	cfg.TRCD = scaleNS(cfg.TRCD, scale)
+	cfg.TRP = scaleNS(cfg.TRP, scale)
+	cfg.TRAS = scaleNS(cfg.TRAS, scale)
+	cfg.TRefi = scaleNS(cfg.TRefi, scale)
+	cfg.TRfc = scaleNS(cfg.TRfc, scale)
+	return cfg
+}
+
+func scaleNS(ns uint64, scale float64) uint64 {
+	v := uint64(float64(ns) * scale)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Schemes returns the six protection configurations of Fig. 5/6 in
+// plot order.
+func Schemes() []memprot.Scheme { return memprot.AllSchemes() }

@@ -1,0 +1,53 @@
+package seda
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTrafficCSV emits the Fig. 5 series as CSV (one row per
+// workload, one column per scheme, final "avg" row) for plotting.
+func (s *SuiteResult) WriteTrafficCSV(w io.Writer) error {
+	return s.writeCSV(w, func(r RunResult) float64 { return r.NormTraffic })
+}
+
+// WritePerfCSV emits the Fig. 6 series as CSV.
+func (s *SuiteResult) WritePerfCSV(w io.Writer) error {
+	return s.writeCSV(w, func(r RunResult) float64 { return r.NormPerf })
+}
+
+func (s *SuiteResult) writeCSV(w io.Writer, f func(RunResult) float64) error {
+	cw := csv.NewWriter(w)
+	schemes := Schemes()
+	header := []string{"workload"}
+	for _, sc := range schemes {
+		header = append(header, sc.Name())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, name := range s.Workloads() {
+		rec := []string{name}
+		for _, sc := range schemes {
+			r, err := SchemeRow(s.Rows[name], sc)
+			if err != nil {
+				return fmt.Errorf("seda: csv export: %w", err)
+			}
+			rec = append(rec, strconv.FormatFloat(f(r), 'f', 4, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	rec := []string{"avg"}
+	for _, sc := range schemes {
+		rec = append(rec, strconv.FormatFloat(s.avg(sc, f), 'f', 4, 64))
+	}
+	if err := cw.Write(rec); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

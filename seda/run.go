@@ -1,0 +1,139 @@
+package seda
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dram"
+	"repro/internal/memprot"
+	"repro/internal/model"
+	"repro/internal/scalesim"
+)
+
+// RunResult is one (NPU, network, scheme) evaluation.
+type RunResult struct {
+	NPU     string
+	Network string
+	Scheme  memprot.Scheme
+
+	DataBytes uint64 // baseline tensor traffic
+	MetaBytes uint64 // security-metadata + over-fetch traffic
+
+	// NormTraffic is total traffic normalized to the unprotected
+	// baseline (Fig. 5's y-axis; baseline = 1.0).
+	NormTraffic float64
+
+	ExecCycles uint64
+	// NormPerf is baseline execution time divided by this scheme's
+	// (Fig. 6's y-axis; baseline = 1.0, protected schemes <= 1).
+	NormPerf float64
+
+	// ComputeCycles is the scheme-independent compute time, kept for
+	// bound checks.
+	ComputeCycles uint64
+}
+
+// TrafficOverhead returns NormTraffic - 1.
+func (r RunResult) TrafficOverhead() float64 { return r.NormTraffic - 1 }
+
+// PerfOverhead returns the slowdown 1 - NormPerf.
+func (r RunResult) PerfOverhead() float64 { return 1 - r.NormPerf }
+
+// RunNetwork evaluates every scheme on one network and returns one
+// row per scheme, ordered as Schemes() (baseline last).
+func RunNetwork(npu NPUConfig, net *model.Network) ([]RunResult, error) {
+	if err := npu.Validate(); err != nil {
+		return nil, err
+	}
+	arr, err := npu.arrayConfig()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := arr.SimulateNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+
+	// Schemes are independent given the shared schedule; evaluate them
+	// concurrently (each owns its protection state and DRAM model).
+	schemes := Schemes()
+	rows := make([]RunResult, len(schemes))
+	errs := make([]error, len(schemes))
+	var wg sync.WaitGroup
+	for i, s := range schemes {
+		wg.Add(1)
+		go func(i int, s memprot.Scheme) {
+			defer wg.Done()
+			rows[i], errs[i] = runScheme(npu, net, sim, s)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	base, err := SchemeRow(rows, memprot.SchemeBaseline)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].NormTraffic = safeRatio(float64(rows[i].DataBytes+rows[i].MetaBytes), float64(base.DataBytes))
+		rows[i].NormPerf = safeRatio(float64(base.ExecCycles), float64(rows[i].ExecCycles))
+	}
+	return rows, nil
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// runScheme protects the simulated network with one scheme and runs
+// the augmented per-layer traces through the DRAM timing model.
+// Execution time is the sum over layers of max(compute, memory): the
+// accelerator double-buffers, so within a layer compute and DRAM
+// overlap, but layer boundaries synchronize.
+func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, s memprot.Scheme) (RunResult, error) {
+	prot, err := memprot.Protect(s, sim, memprot.DefaultOptions())
+	if err != nil {
+		return RunResult{}, err
+	}
+	dsim, err := dram.New(npu.dramConfig())
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	row := RunResult{
+		NPU:     npu.Name,
+		Network: net.Name,
+		Scheme:  s,
+	}
+	for i := range prot.Layers {
+		pl := &prot.Layers[i]
+		st := dsim.RunTrace(pl.Trace)
+		compute := sim.Layers[i].ComputeCycles
+		layerCycles := st.Cycles
+		if compute > layerCycles {
+			layerCycles = compute
+		}
+		row.ExecCycles += layerCycles
+		row.ComputeCycles += compute
+		row.DataBytes += pl.Overhead.DataBytes
+		row.MetaBytes += pl.Overhead.MetaBytes()
+	}
+	return row, nil
+}
+
+// SchemeRow finds the row for a scheme in RunNetwork output.
+func SchemeRow(rows []RunResult, s memprot.Scheme) (RunResult, error) {
+	for _, r := range rows {
+		if r.Scheme == s {
+			return r, nil
+		}
+	}
+	return RunResult{}, fmt.Errorf("seda: scheme %s not in rows", s.Name())
+}

@@ -1,0 +1,144 @@
+package seda
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/memprot"
+	"repro/internal/model"
+)
+
+// SuiteResult holds a full Fig. 5/6 sweep for one NPU: every workload
+// of the paper's benchmark set against every scheme.
+type SuiteResult struct {
+	NPU  NPUConfig
+	Rows map[string][]RunResult // workload short name -> per-scheme rows
+}
+
+// RunSuite evaluates all 13 workloads on one NPU.
+func RunSuite(npu NPUConfig) (*SuiteResult, error) {
+	return RunSuiteOn(npu, model.All())
+}
+
+// RunSuiteOn evaluates the given workloads on one NPU.
+func RunSuiteOn(npu NPUConfig, nets []*model.Network) (*SuiteResult, error) {
+	res := &SuiteResult{NPU: npu, Rows: make(map[string][]RunResult)}
+	for _, n := range nets {
+		rows, err := RunNetwork(npu, n)
+		if err != nil {
+			return nil, fmt.Errorf("seda: %s on %s: %w", n.Name, npu.Name, err)
+		}
+		res.Rows[n.Name] = rows
+	}
+	return res, nil
+}
+
+// Workloads returns the workload names present, in the paper's order
+// where possible.
+func (s *SuiteResult) Workloads() []string {
+	order := map[string]int{}
+	for i, n := range model.Names() {
+		order[n] = i
+	}
+	names := make([]string, 0, len(s.Rows))
+	for n := range s.Rows {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := order[names[i]]
+		oj, jok := order[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// AvgNormTraffic averages a scheme's normalized traffic across
+// workloads (the "avg" bar of Fig. 5).
+func (s *SuiteResult) AvgNormTraffic(scheme memprot.Scheme) float64 {
+	return s.avg(scheme, func(r RunResult) float64 { return r.NormTraffic })
+}
+
+// AvgNormPerf averages a scheme's normalized performance across
+// workloads (the "avg" bar of Fig. 6).
+func (s *SuiteResult) AvgNormPerf(scheme memprot.Scheme) float64 {
+	return s.avg(scheme, func(r RunResult) float64 { return r.NormPerf })
+}
+
+func (s *SuiteResult) avg(scheme memprot.Scheme, f func(RunResult) float64) float64 {
+	var sum float64
+	var n int
+	for _, rows := range s.Rows {
+		for _, r := range rows {
+			if r.Scheme == scheme {
+				sum += f(r)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteTrafficTable prints the Fig. 5 data (normalized memory traffic
+// per workload and scheme, plus the average row).
+func (s *SuiteResult) WriteTrafficTable(w io.Writer) {
+	s.writeTable(w, "Norm. Mem. Traffic", func(r RunResult) float64 { return r.NormTraffic })
+}
+
+// WritePerfTable prints the Fig. 6 data (normalized performance per
+// workload and scheme, plus the average row).
+func (s *SuiteResult) WritePerfTable(w io.Writer) {
+	s.writeTable(w, "Norm. Performance", func(r RunResult) float64 { return r.NormPerf })
+}
+
+func (s *SuiteResult) writeTable(w io.Writer, title string, f func(RunResult) float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s (%s NPU)\n", title, s.NPU.Name)
+	fmt.Fprint(tw, "workload")
+	schemes := Schemes()
+	for _, sc := range schemes {
+		fmt.Fprintf(tw, "\t%s", sc.Name())
+	}
+	fmt.Fprintln(tw)
+	for _, name := range s.Workloads() {
+		fmt.Fprint(tw, name)
+		for _, sc := range schemes {
+			r, err := SchemeRow(s.Rows[name], sc)
+			if err != nil {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.3f", f(r))
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "avg")
+	for _, sc := range schemes {
+		fmt.Fprintf(tw, "\t%.3f", s.avg(sc, f))
+	}
+	fmt.Fprintln(tw)
+	tw.Flush() //nolint:errcheck
+}
+
+// HeadlineImprovement returns how much SeDA reduces average
+// performance overhead relative to SGX-64B (percentage points) — the
+// abstract's ">12%" claim compares the protection overhead SeDA
+// removes.
+func (s *SuiteResult) HeadlineImprovement() float64 {
+	sgx := 1 - s.AvgNormPerf(memprot.SchemeSGX64)
+	seda := 1 - s.AvgNormPerf(memprot.SchemeSeDA)
+	return (sgx - seda) * 100
+}
