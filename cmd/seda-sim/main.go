@@ -20,6 +20,7 @@ func main() {
 	workload := flag.String("workload", "rest", "workload short name ("+strings.Join(model.Names(), ", ")+")")
 	npuName := flag.String("npu", "server", "npu config: server or edge")
 	table1 := flag.Bool("table1", false, "print Table I (multi-level granularity comparison) and exit")
+	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
 	flag.Parse()
 
 	if *table1 {
@@ -44,7 +45,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	rows, err := seda.RunNetwork(npu, net)
+	opts := seda.DefaultSuiteOptions()
+	if *seq {
+		opts = seda.SequentialOptions()
+	}
+	rows, err := seda.RunNetworkOpts(npu, net, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seda-sim:", err)
 		os.Exit(1)

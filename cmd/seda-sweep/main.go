@@ -11,17 +11,26 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/memprot"
+	"repro/internal/model"
 	"repro/seda"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 1d, 5a, 5b, 6a, 6b, all")
 	table3 := flag.Bool("table3", false, "print Table III (scheme feature comparison) and exit")
+	workers := flag.Int("workers", 0, "workload-level worker pool size (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
 	flag.Parse()
 
 	if *table3 {
 		printTable3()
 		return
+	}
+
+	opts := seda.DefaultSuiteOptions()
+	opts.Workers = *workers
+	if *seq {
+		opts = seda.SequentialOptions()
 	}
 
 	server := seda.ServerNPU()
@@ -33,12 +42,12 @@ func main() {
 	var srv, edg *seda.SuiteResult
 	var err error
 	if needServer {
-		if srv, err = seda.RunSuite(server); err != nil {
+		if srv, err = seda.RunSuiteOpts(server, model.All(), opts); err != nil {
 			fatal(err)
 		}
 	}
 	if needEdge {
-		if edg, err = seda.RunSuite(edge); err != nil {
+		if edg, err = seda.RunSuiteOpts(edge, model.All(), opts); err != nil {
 			fatal(err)
 		}
 	}

@@ -19,8 +19,12 @@
 //	internal/hwmodel   28nm T-AES vs B-AES area/power model
 //	internal/attack    SECA and RePA attacks + defenses
 //	internal/core      functional SeDA protection unit (Crypt+Integ engines)
+//	internal/nnexec    reference executor for the benchmark DNN layers
+//	internal/secinfer  end-to-end secure inference over the SeDA unit
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured numbers.
+// the parallel pipeline's execution model (zero-copy traces, concurrent
+// DRAM channels, suite-level worker pool), and EXPERIMENTS.md for
+// paper-vs-measured numbers.
 package repro

@@ -11,9 +11,22 @@
 // part: Table II specifies aggregate bandwidth (20 GB/s server,
 // 10 GB/s edge) over four 64-bit channels, so each channel's burst
 // timing is derived from its share of the aggregate.
+//
+// The hot path is zero-copy: traces are consumed as trace.Access
+// values directly, exploded into exact-size per-channel burst queues
+// (counted in a pre-pass, so queues never reallocate mid-fill), and
+// the queue buffers are recycled across runs. Channels are fully
+// independent after the explode step, so they drain on parallel
+// goroutines by default; per-channel statistics merge in channel-index
+// order, making Stats bit-identical to a sequential drain.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/trace"
+)
 
 // Config describes the memory system geometry and timing (in memory
 // controller cycles).
@@ -114,9 +127,32 @@ type channel struct {
 	refCount uint64
 }
 
+// chanResult is one channel's contribution to Stats, accumulated
+// privately by its drain goroutine and merged in channel-index order.
+type chanResult struct {
+	rowHits   uint64
+	rowMisses uint64
+	rowEmpty  uint64
+	busy      uint64
+	refreshes uint64
+	done      uint64 // cycle the channel's last burst finishes
+}
+
+// runState is the per-run scratch memory: channel structs with their
+// bank arrays and request queues, plus the per-channel fill cursors.
+// States are recycled through Simulator.pool so steady-state RunTrace
+// calls allocate only the returned ChanCycles slice.
+type runState struct {
+	chans   []channel
+	cursors []int
+	results []chanResult
+}
+
 // Simulator drains traces through the memory system.
 type Simulator struct {
-	cfg Config
+	cfg        Config
+	sequential bool
+	pool       sync.Pool // *runState
 }
 
 // New builds a simulator.
@@ -129,6 +165,49 @@ func New(cfg Config) (*Simulator, error) {
 
 // Config returns the configuration.
 func (s *Simulator) Config() Config { return s.cfg }
+
+// SetSequentialDrain forces channels to drain one after another on the
+// calling goroutine instead of in parallel. Results are bit-identical
+// either way; the switch exists for determinism tests and debugging.
+func (s *Simulator) SetSequentialDrain(v bool) { s.sequential = v }
+
+// getState fetches (or builds) a runState sized for the configuration
+// and resets the parts a previous run dirtied. Queue buffers keep
+// their capacity across runs, so per-layer traces of similar size
+// explode without reallocating.
+func (s *Simulator) getState() *runState {
+	if v := s.pool.Get(); v != nil {
+		st := v.(*runState)
+		for i := range st.chans {
+			ch := &st.chans[i]
+			for j := range ch.banks {
+				ch.banks[j] = bank{openRow: -1}
+			}
+			ch.busFree = 0
+			ch.busy = 0
+			ch.queue = ch.queue[:0]
+			ch.nextRef = s.cfg.TRefi
+			ch.refCount = 0
+			st.cursors[i] = 0
+			st.results[i] = chanResult{}
+		}
+		return st
+	}
+	st := &runState{
+		chans:   make([]channel, s.cfg.Channels),
+		cursors: make([]int, s.cfg.Channels),
+		results: make([]chanResult, s.cfg.Channels),
+	}
+	for i := range st.chans {
+		banks := make([]bank, s.cfg.BanksPerChan)
+		for j := range banks {
+			banks[j].openRow = -1 // all banks closed until first activate
+		}
+		st.chans[i].banks = banks
+		st.chans[i].nextRef = s.cfg.TRefi
+	}
+	return st
+}
 
 // mapAddr splits a byte address into channel, bank and row using
 // burst-interleaved channel mapping (consecutive bursts hit different
@@ -144,61 +223,134 @@ func (s *Simulator) mapAddr(addr uint64) (ch, bk int, row int64) {
 	return ch, bk, row
 }
 
-// Run drains all accesses and returns timing statistics. Requests are
-// split into bursts, distributed to their channels, and scheduled
-// FR-FCFS (row hits first within the window, else oldest).
-func (s *Simulator) Run(accesses []accessView) Stats {
+// bursts returns how many bursts an access occupies.
+func (s *Simulator) bursts(bytes uint32) int {
+	n := int(bytes+uint32(s.cfg.BurstBytes)-1) / s.cfg.BurstBytes
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// RunTrace drains a trace through the memory system. The trace is
+// consumed in place — no intermediate representation is built.
+func (s *Simulator) RunTrace(t *trace.Trace) Stats { return s.RunAccesses(t.Accesses) }
+
+// RunAccesses drains a raw access slice and returns timing statistics.
+// Requests are split into bursts, distributed to exact-size per-channel
+// queues (burst counts are computed in a pre-pass so the fill never
+// reallocates), and each channel is scheduled FR-FCFS (row hits first
+// within the window, else oldest). Channels drain concurrently unless
+// SetSequentialDrain was called; statistics merge deterministically.
+func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 	st := Stats{ChanCycles: make([]uint64, s.cfg.Channels)}
-	chans := make([]channel, s.cfg.Channels)
-	for i := range chans {
-		chans[i].banks = make([]bank, s.cfg.BanksPerChan)
-		chans[i].nextRef = s.cfg.TRefi
-	}
+	rs := s.getState()
+	defer s.pool.Put(rs)
+	chans := rs.chans
+	nchan := uint64(s.cfg.Channels)
 
-	// Explode accesses into burst-granular requests per channel.
-	for _, a := range accesses {
-		n := int(a.bytes+uint32(s.cfg.BurstBytes)-1) / s.cfg.BurstBytes
-		if n == 0 {
-			n = 1
+	// Pass 1: count bursts per channel (and the global read/write/byte
+	// totals, which depend only on burst counts). An access's bursts
+	// round-robin the channels starting at its first burst's channel,
+	// so each channel gets n/C bursts plus one of the n%C remainder.
+	var total int
+	for i := range accesses {
+		a := &accesses[i]
+		n := s.bursts(a.Bytes)
+		total += n
+		st.BytesMoved += uint64(n) * uint64(s.cfg.BurstBytes)
+		if a.Kind == trace.Write {
+			st.Writes += uint64(n)
+		} else {
+			st.Reads += uint64(n)
 		}
-		for b := 0; b < n; b++ {
-			addr := a.addr + uint64(b*s.cfg.BurstBytes)
-			ch, _, _ := s.mapAddr(addr)
-			chans[ch].queue = append(chans[ch].queue,
-				request{issue: a.cycle, addr: addr, write: a.write})
-			st.BytesMoved += uint64(s.cfg.BurstBytes)
-			if a.write {
-				st.Writes++
-			} else {
-				st.Reads++
+		c0 := int((a.Addr / uint64(s.cfg.BurstBytes)) % nchan)
+		per := n / s.cfg.Channels
+		rem := n % s.cfg.Channels
+		for c := 0; c < s.cfg.Channels; c++ {
+			extra := 0
+			if (c-c0+s.cfg.Channels)%s.cfg.Channels < rem {
+				extra = 1
 			}
+			rs.cursors[c] += per + extra
+		}
+	}
+	if total == 0 {
+		return st
+	}
+
+	// Allocate exact-size queues (reusing pooled buffers) and reset the
+	// cursors for the fill pass.
+	for c := range chans {
+		cnt := rs.cursors[c]
+		if cap(chans[c].queue) < cnt {
+			chans[c].queue = make([]request, cnt)
+		} else {
+			chans[c].queue = chans[c].queue[:cnt]
+		}
+		rs.cursors[c] = 0
+	}
+
+	// Pass 2: fill. Queue order per channel matches the sequential
+	// explode order of the input, so scheduling is reproducible.
+	for i := range accesses {
+		a := &accesses[i]
+		n := s.bursts(a.Bytes)
+		write := a.Kind == trace.Write
+		for b := 0; b < n; b++ {
+			addr := a.Addr + uint64(b*s.cfg.BurstBytes)
+			c := (addr / uint64(s.cfg.BurstBytes)) % nchan
+			chans[c].queue[rs.cursors[c]] = request{issue: a.Cycle, addr: addr, write: write}
+			rs.cursors[c]++
 		}
 	}
 
-	var maxDone uint64
-	for ci := range chans {
-		done := s.drainChannel(&chans[ci], &st)
-		st.ChanCycles[ci] = chans[ci].busy
-		if chans[ci].busy > st.MaxChanBusy {
-			st.MaxChanBusy = chans[ci].busy
+	// Drain. Channels share no state after the explode, so they can
+	// run on parallel goroutines; each accumulates into its own
+	// chanResult slot.
+	if s.sequential || s.cfg.Channels == 1 {
+		for ci := range chans {
+			rs.results[ci] = s.drainChannel(&chans[ci])
 		}
-		if done > maxDone {
-			maxDone = done
+	} else {
+		var wg sync.WaitGroup
+		for ci := range chans {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				rs.results[ci] = s.drainChannel(&chans[ci])
+			}(ci)
 		}
+		wg.Wait()
 	}
-	st.Cycles = maxDone
-	st.Refreshes = 0
+
+	// Merge per-channel results in channel-index order. Every field is
+	// a sum or max of per-channel values, so the merged Stats is
+	// bit-identical to what a sequential drain produces.
 	for ci := range chans {
-		st.Refreshes += chans[ci].refCount
+		r := &rs.results[ci]
+		st.ChanCycles[ci] = r.busy
+		if r.busy > st.MaxChanBusy {
+			st.MaxChanBusy = r.busy
+		}
+		if r.done > st.Cycles {
+			st.Cycles = r.done
+		}
+		st.RowHits += r.rowHits
+		st.RowMisses += r.rowMisses
+		st.RowEmpty += r.rowEmpty
+		st.Refreshes += r.refreshes
 	}
 	return st
 }
 
 // drainChannel schedules one channel's queue FR-FCFS and returns the
-// cycle at which its last burst finishes. The reorder window slides
-// over the queue: the selected request is swapped to the window head
-// and the head advances, so selection is O(window) and removal O(1).
-func (s *Simulator) drainChannel(ch *channel, st *Stats) uint64 {
+// channel's private statistics, including the cycle at which its last
+// burst finishes. The reorder window slides over the queue: the
+// selected request is swapped to the window head and the head
+// advances, so selection is O(window) and removal O(1).
+func (s *Simulator) drainChannel(ch *channel) chanResult {
+	var res chanResult
 	var now uint64
 	var lastDone uint64
 	q := ch.queue
@@ -274,14 +426,14 @@ func (s *Simulator) drainChannel(ch *channel, st *Stats) uint64 {
 		var svc uint64
 		switch {
 		case b.openRow == row:
-			st.RowHits++
+			res.rowHits++
 			svc = s.cfg.TCL
 		case b.openRow == int64(-1):
-			st.RowEmpty++
+			res.rowEmpty++
 			svc = s.cfg.TRCD + s.cfg.TCL
 			b.activeAt = start
 		default:
-			st.RowMisses++
+			res.rowMisses++
 			// Honor tRAS before precharging the open row.
 			if b.activeAt+s.cfg.TRAS > start {
 				start = b.activeAt + s.cfg.TRAS
@@ -315,14 +467,8 @@ func (s *Simulator) drainChannel(ch *channel, st *Stats) uint64 {
 	if lastDone < now {
 		lastDone = now
 	}
-	return lastDone
-}
-
-// accessView is the minimal request description Run needs; the adapter
-// in adapter.go converts trace.Access values.
-type accessView struct {
-	cycle uint64
-	addr  uint64
-	bytes uint32
-	write bool
+	res.busy = ch.busy
+	res.refreshes = ch.refCount
+	res.done = lastDone
+	return res
 }

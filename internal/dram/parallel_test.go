@@ -1,0 +1,140 @@
+package dram
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// mixedTrace builds a trace exercising every scheduler path: strided
+// reads/writes of varying sizes, late issue times, and row conflicts.
+func mixedTrace(n int) *trace.Trace {
+	tr := &trace.Trace{}
+	tr.Reserve(n)
+	for i := 0; i < n; i++ {
+		size := uint32(64)
+		switch i % 3 {
+		case 1:
+			size = 256
+		case 2:
+			size = 520 // non-burst-aligned size
+		}
+		addr := uint64(i) * 192
+		if i%7 == 0 {
+			addr = uint64(i) * 2048 * 16 * 3 // bank/row jumps
+		}
+		tr.Append(trace.Access{
+			Cycle: uint64(i/4) * 3,
+			Addr:  addr,
+			Bytes: size,
+			Kind:  trace.Kind(i % 2),
+			Layer: uint16(i % 5),
+		})
+	}
+	return tr
+}
+
+// TestParallelDrainMatchesSequential is the zero-copy pipeline's
+// determinism anchor: draining channels on parallel goroutines must
+// produce bit-identical Stats to the single-goroutine drain.
+func TestParallelDrainMatchesSequential(t *testing.T) {
+	for _, channels := range []int{1, 2, 3, 4, 8} {
+		par := newSim(t, channels)
+		seq := newSim(t, channels)
+		seq.SetSequentialDrain(true)
+		tr := mixedTrace(3000)
+		stPar := par.RunTrace(tr)
+		stSeq := seq.RunTrace(tr)
+		if !reflect.DeepEqual(stPar, stSeq) {
+			t.Errorf("channels=%d: parallel %+v != sequential %+v", channels, stPar, stSeq)
+		}
+	}
+}
+
+// TestRunStateReuse checks that the pooled scratch state (recycled
+// queue buffers, bank arrays) does not leak state between runs: a
+// reused simulator must report exactly what a fresh one does.
+func TestRunStateReuse(t *testing.T) {
+	warm := newSim(t, 4)
+	tr1 := mixedTrace(2000)
+	tr2 := seqTrace(500, 64, 64, trace.Write)
+	warm.RunTrace(tr1) // dirty the pooled state with a larger trace
+	got := warm.RunTrace(tr2)
+	want := newSim(t, 4).RunTrace(tr2)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("reused state %+v != fresh %+v", got, want)
+	}
+}
+
+// TestRunAccessesMatchesRunTrace pins the zero-copy equivalence: the
+// trace wrapper adds nothing beyond the raw slice.
+func TestRunAccessesMatchesRunTrace(t *testing.T) {
+	tr := mixedTrace(800)
+	a := newSim(t, 4).RunAccesses(tr.Accesses)
+	b := newSim(t, 4).RunTrace(tr)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("RunAccesses %+v != RunTrace %+v", a, b)
+	}
+}
+
+// TestNonPowerOfTwoChannels exercises the counted explode's remainder
+// distribution for channel counts that do not divide burst indices
+// evenly: burst conservation must hold exactly.
+func TestNonPowerOfTwoChannels(t *testing.T) {
+	s := newSim(t, 3)
+	tr := &trace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Access{Addr: uint64(i) * 448, Bytes: 448, Kind: trace.Read})
+	}
+	st := s.RunTrace(tr)
+	if st.Reads != 700 { // 100 accesses x 7 bursts
+		t.Errorf("reads = %d, want 700", st.Reads)
+	}
+	if st.BytesMoved != 700*64 {
+		t.Errorf("bytes = %d, want %d", st.BytesMoved, 700*64)
+	}
+	var busy int
+	for _, c := range st.ChanCycles {
+		if c > 0 {
+			busy++
+		}
+	}
+	if busy != 3 {
+		t.Errorf("only %d of 3 channels saw traffic", busy)
+	}
+}
+
+// BenchmarkRunTrace measures the zero-copy hot path. The seed adapter
+// (accessView copy + growing queues) ran this workload at 79 allocs/op
+// and ~3.4 MB/op; the counted pre-size explode with pooled buffers
+// must stay well under half of that (see BENCH_PIPELINE.json).
+func BenchmarkRunTrace(b *testing.B) {
+	tr := &trace.Trace{}
+	tr.Reserve(4096)
+	for i := 0; i < 4096; i++ {
+		tr.Append(trace.Access{
+			Cycle: uint64(i) * 4,
+			Addr:  uint64(i) * 512,
+			Bytes: 512,
+			Kind:  trace.Kind(i % 2),
+		})
+	}
+	for _, mode := range []struct {
+		name string
+		seq  bool
+	}{{"parallel", false}, {"sequential", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			s, err := New(DDR4Like(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.SetSequentialDrain(mode.seq)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunTrace(tr)
+			}
+		})
+	}
+}

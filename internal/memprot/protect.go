@@ -196,6 +196,10 @@ func (p *protector) protectLayer(lr *scalesim.LayerResult) ProtectedLayer {
 		LayerID: lr.LayerID,
 		Trace:   &trace.Trace{},
 	}
+	// Every scheme forwards each data access at least once; reserving
+	// the source length up front saves the early doubling reallocations
+	// on the hot append path.
+	pl.Trace.Reserve(lr.Trace.Len())
 	switch p.scheme.Kind {
 	case Baseline:
 		pl.Trace.AppendAll(lr.Trace)

@@ -171,6 +171,15 @@ func (c *Config) simulateLayer(l model.Layer, layerID int, weightBase uint64) La
 		Trace:         &trace.Trace{},
 	}
 
+	// The schedule's access count is known up front: one ifmap band and
+	// one ofmap band per row tile, plus a weight fetch per filter group
+	// on the first tile (every tile when weights are not resident).
+	weightFetches := til.Groups
+	if !til.WeightResident {
+		weightFetches = til.Groups * til.RowTiles
+	}
+	lr.Trace.Reserve(2*til.RowTiles + weightFetches)
+
 	ifBase := ifmapBase(layerID)
 	ofBase := ofmapBase(layerID)
 

@@ -6,7 +6,10 @@
 // paper's evaluation pipeline (§IV-A).
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Kind distinguishes reads from writes.
 type Kind uint8
@@ -105,6 +108,19 @@ type Trace struct {
 // Append adds an access.
 func (t *Trace) Append(a Access) { t.Accesses = append(t.Accesses, a) }
 
+// Reserve ensures capacity for n more accesses, so producers that know
+// their access count up front (e.g. the tiling schedule) append
+// without reallocation.
+func (t *Trace) Reserve(n int) {
+	need := len(t.Accesses) + n
+	if cap(t.Accesses) >= need {
+		return
+	}
+	grown := make([]Access, len(t.Accesses), need)
+	copy(grown, t.Accesses)
+	t.Accesses = grown
+}
+
 // AppendAll concatenates another trace.
 func (t *Trace) AppendAll(o *Trace) {
 	t.Accesses = append(t.Accesses, o.Accesses...)
@@ -138,10 +154,12 @@ func (s Stats) MetaBytes() uint64 {
 		s.BytesByClass[TreeMeta] + s.BytesByClass[OverFetch]
 }
 
-// ComputeStats walks the trace and summarizes it.
+// ComputeStats walks the trace and summarizes it. Layer IDs are
+// uint16, so distinct layers are tracked in a fixed 64 Ki-bit bitset
+// instead of a map — the walk performs no heap allocation.
 func (t *Trace) ComputeStats() Stats {
 	var s Stats
-	layers := make(map[uint16]struct{})
+	var layers [1 << 16 / 64]uint64
 	for _, a := range t.Accesses {
 		s.AccessCount++
 		if a.Kind == Read {
@@ -158,8 +176,10 @@ func (t *Trace) ComputeStats() Stats {
 		if a.Cycle > s.HighestCycle {
 			s.HighestCycle = a.Cycle
 		}
-		layers[a.Layer] = struct{}{}
+		layers[a.Layer>>6] |= 1 << (a.Layer & 63)
 	}
-	s.DistinctLayers = len(layers)
+	for _, w := range layers {
+		s.DistinctLayers += bits.OnesCount64(w)
+	}
 	return s
 }

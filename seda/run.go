@@ -42,6 +42,13 @@ func (r RunResult) PerfOverhead() float64 { return 1 - r.NormPerf }
 // RunNetwork evaluates every scheme on one network and returns one
 // row per scheme, ordered as Schemes() (baseline last).
 func RunNetwork(npu NPUConfig, net *model.Network) ([]RunResult, error) {
+	return RunNetworkOpts(npu, net, DefaultSuiteOptions())
+}
+
+// RunNetworkOpts evaluates every scheme on one network under explicit
+// execution options and returns one row per scheme, ordered as
+// Schemes() (baseline last).
+func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]RunResult, error) {
 	if err := npu.Validate(); err != nil {
 		return nil, err
 	}
@@ -55,19 +62,27 @@ func RunNetwork(npu NPUConfig, net *model.Network) ([]RunResult, error) {
 	}
 
 	// Schemes are independent given the shared schedule; evaluate them
-	// concurrently (each owns its protection state and DRAM model).
+	// concurrently (each owns its protection state and DRAM model)
+	// unless the options force a single goroutine. Rows land in fixed
+	// slots, so scheduling never affects output order.
 	schemes := Schemes()
 	rows := make([]RunResult, len(schemes))
 	errs := make([]error, len(schemes))
-	var wg sync.WaitGroup
-	for i, s := range schemes {
-		wg.Add(1)
-		go func(i int, s memprot.Scheme) {
-			defer wg.Done()
-			rows[i], errs[i] = runScheme(npu, net, sim, s)
-		}(i, s)
+	if opts.SequentialSchemes {
+		for i, s := range schemes {
+			rows[i], errs[i] = runScheme(npu, net, sim, s, opts)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range schemes {
+			wg.Add(1)
+			go func(i int, s memprot.Scheme) {
+				defer wg.Done()
+				rows[i], errs[i] = runScheme(npu, net, sim, s, opts)
+			}(i, s)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, e := range errs {
 		if e != nil {
 			return nil, e
@@ -97,7 +112,7 @@ func safeRatio(num, den float64) float64 {
 // Execution time is the sum over layers of max(compute, memory): the
 // accelerator double-buffers, so within a layer compute and DRAM
 // overlap, but layer boundaries synchronize.
-func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, s memprot.Scheme) (RunResult, error) {
+func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, s memprot.Scheme, opts SuiteOptions) (RunResult, error) {
 	prot, err := memprot.Protect(s, sim, memprot.DefaultOptions())
 	if err != nil {
 		return RunResult{}, err
@@ -106,6 +121,7 @@ func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, s
 	if err != nil {
 		return RunResult{}, err
 	}
+	dsim.SetSequentialDrain(opts.SequentialDRAM)
 
 	row := RunResult{
 		NPU:     npu.Name,

@@ -3,7 +3,9 @@ package seda
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/memprot"
@@ -17,20 +19,93 @@ type SuiteResult struct {
 	Rows map[string][]RunResult // workload short name -> per-scheme rows
 }
 
+// SuiteOptions tunes how a sweep executes. The pipeline is
+// deterministic under every setting: parallel and sequential runs
+// produce byte-identical results (see TestSuiteDeterminism).
+type SuiteOptions struct {
+	// Workers bounds how many workloads evaluate concurrently.
+	// 0 (the default) means GOMAXPROCS.
+	Workers int
+
+	// SequentialSchemes evaluates the protection schemes of each
+	// workload one after another instead of on parallel goroutines.
+	SequentialSchemes bool
+
+	// SequentialDRAM drains DRAM channels on a single goroutine
+	// instead of one goroutine per channel.
+	SequentialDRAM bool
+}
+
+// DefaultSuiteOptions parallelizes at every level: a GOMAXPROCS-bounded
+// workload pool, concurrent scheme evaluation, and concurrent DRAM
+// channel draining.
+func DefaultSuiteOptions() SuiteOptions { return SuiteOptions{} }
+
+// SequentialOptions forces the whole pipeline onto one goroutine —
+// the determinism reference and profiling baseline.
+func SequentialOptions() SuiteOptions {
+	return SuiteOptions{Workers: 1, SequentialSchemes: true, SequentialDRAM: true}
+}
+
+func (o SuiteOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // RunSuite evaluates all 13 workloads on one NPU.
 func RunSuite(npu NPUConfig) (*SuiteResult, error) {
-	return RunSuiteOn(npu, model.All())
+	return RunSuiteOpts(npu, model.All(), DefaultSuiteOptions())
 }
 
 // RunSuiteOn evaluates the given workloads on one NPU.
 func RunSuiteOn(npu NPUConfig, nets []*model.Network) (*SuiteResult, error) {
-	res := &SuiteResult{NPU: npu, Rows: make(map[string][]RunResult)}
-	for _, n := range nets {
-		rows, err := RunNetwork(npu, n)
-		if err != nil {
-			return nil, fmt.Errorf("seda: %s on %s: %w", n.Name, npu.Name, err)
+	return RunSuiteOpts(npu, nets, DefaultSuiteOptions())
+}
+
+// RunSuiteOpts evaluates the given workloads on one NPU with explicit
+// execution options. Workloads are independent given their own
+// simulator state, so they run through a bounded worker pool; results
+// are collected per slot and assembled in input order, and the first
+// error (in input order) wins, so output is independent of scheduling.
+func RunSuiteOpts(npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
+	workers := opts.workers()
+	if workers > len(nets) {
+		workers = len(nets)
+	}
+
+	rows := make([][]RunResult, len(nets))
+	errs := make([]error, len(nets))
+	if workers <= 1 {
+		for i, n := range nets {
+			rows[i], errs[i] = RunNetworkOpts(npu, n, opts)
 		}
-		res.Rows[n.Name] = rows
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					rows[i], errs[i] = RunNetworkOpts(npu, nets[i], opts)
+				}
+			}()
+		}
+		for i := range nets {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	res := &SuiteResult{NPU: npu, Rows: make(map[string][]RunResult, len(nets))}
+	for i, n := range nets {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("seda: %s on %s: %w", n.Name, npu.Name, errs[i])
+		}
+		res.Rows[n.Name] = rows[i]
 	}
 	return res, nil
 }

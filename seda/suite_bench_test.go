@@ -1,0 +1,38 @@
+package seda
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// BenchmarkRunSuite measures the full evaluation pipeline (13
+// workloads x 6 schemes: scalesim schedule -> protection scheme ->
+// DRAM timing) on both NPUs, sequential vs parallel. The sequential
+// variant forces one goroutine end to end; the parallel variant is the
+// default pipeline (GOMAXPROCS workload pool, concurrent schemes,
+// concurrent channel drain). Before/after numbers for the perf
+// trajectory live in BENCH_PIPELINE.json.
+//
+// Run with:
+//
+//	go test -run xxx -bench BenchmarkRunSuite -benchtime 1x ./seda
+func BenchmarkRunSuite(b *testing.B) {
+	for _, npu := range []NPUConfig{ServerNPU(), EdgeNPU()} {
+		for _, mode := range []struct {
+			name string
+			opts SuiteOptions
+		}{
+			{"seq", SequentialOptions()},
+			{"par", DefaultSuiteOptions()},
+		} {
+			b.Run(npu.Name+"/"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := RunSuiteOpts(npu, model.All(), mode.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
