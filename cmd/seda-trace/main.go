@@ -15,6 +15,7 @@ import (
 	"repro/internal/memprot"
 	"repro/internal/model"
 	"repro/internal/scalesim"
+	"repro/internal/trace"
 	"repro/seda"
 )
 
@@ -51,10 +52,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prot, err := memprot.Protect(scheme, sim, memprot.DefaultOptions())
+	prots, err := memprot.ProtectAll([]memprot.Scheme{scheme}, sim, memprot.DefaultOptions())
 	if err != nil {
 		fatal(err)
 	}
+	prot := prots[0]
 
 	fmt.Printf("%s on %s NPU under %s\n\n", net.Full, npu.Name, scheme.Name())
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -70,16 +72,24 @@ func main() {
 	w.Flush() //nolint:errcheck
 
 	if *dump > 0 {
-		for i, pl := range prot.Layers {
-			fmt.Printf("\nlayer %d (%s): first %d accesses\n",
-				i, sim.Layers[i].Layer.Name, *dump)
-			for j, a := range pl.Trace.Accesses {
-				if j >= *dump {
-					break
+		// Walk the spine+overlay merge in place — the flat trace is
+		// never materialized, matching what the DRAM model consumes.
+		// The walk visits the whole layer and no-ops past the dump
+		// limit; that costs nothing next to the simulation already run
+		// and keeps the anchor-merge semantics in one place.
+		for i := range prot.Layers {
+			pl := &prot.Layers[i]
+			fmt.Printf("\nlayer %d (%s): first %d accesses (%d data + %d overlay total)\n",
+				i, sim.Layers[i].Layer.Name, *dump, pl.Spine.Len(), pl.Deltas.Len())
+			printed := 0
+			trace.ForEachMerged(pl.Spine, pl.Deltas, func(a *trace.Access) {
+				if printed >= *dump {
+					return
 				}
 				fmt.Printf("  cycle=%-10d %s %-9s addr=%#011x bytes=%d\n",
 					a.Cycle, a.Kind, a.Class, a.Addr, a.Bytes)
-			}
+				printed++
+			})
 		}
 	}
 }

@@ -1,0 +1,100 @@
+package aesx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// blockwiseCTR is the pre-batching reference: one independent AES
+// invocation per 16-byte segment.
+func blockwiseCTR(e *Engine, dst, src []byte, c Counter) {
+	for off := 0; off < len(src); off += BlockSize {
+		pad := e.OTP(c)
+		n := len(src) - off
+		if n > BlockSize {
+			n = BlockSize
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = src[off+i] ^ pad[i]
+		}
+		c.VN++
+	}
+}
+
+// TestCTRBatchMatchesBlockwise: the batched keystream is identical to
+// the one-block-at-a-time reference at every length around the batch
+// boundaries, including partial final segments.
+func TestCTRBatchMatchesBlockwise(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(i*7 + keyLen)
+		}
+		e, err := NewEngine(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := Counter{PA: 0xdead_beef_0000_0000, VN: 0xfffffffffffffffd} // VN wraps mid-stream
+		for _, n := range []int{0, 1, 15, 16, 17, 127, 128, 129, 255, 256, 640, 1000} {
+			src := make([]byte, n)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			got := make([]byte, n)
+			want := make([]byte, n)
+			e.XORKeyStreamCTR(got, src, c)
+			blockwiseCTR(e, want, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("key%d len=%d: batched CTR differs from blockwise reference", keyLen*8, n)
+			}
+		}
+	}
+}
+
+// TestCTRRejectsShortDst is the regression test for the documented but
+// unchecked len(dst) >= len(src) contract.
+func TestCTRRejectsShortDst(t *testing.T) {
+	e, err := NewEngine(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short dst did not panic")
+		}
+	}()
+	e.XORKeyStreamCTR(make([]byte, 31), make([]byte, 32), Counter{})
+}
+
+// TestCTRDstLongerThanSrc: extra dst capacity is allowed and left
+// untouched beyond len(src).
+func TestCTRDstLongerThanSrc(t *testing.T) {
+	e, err := NewEngine(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 40)
+	for i := range dst {
+		dst[i] = 0xEE
+	}
+	e.XORKeyStreamCTR(dst, make([]byte, 20), Counter{PA: 1, VN: 2})
+	for i := 20; i < len(dst); i++ {
+		if dst[i] != 0xEE {
+			t.Fatalf("dst[%d] clobbered beyond len(src)", i)
+		}
+	}
+}
+
+// BenchmarkXORKeyStreamCTR tracks the batched T-AES keystream rate
+// (the ROADMAP item: amortize round-key loads over 8 counter blocks).
+func BenchmarkXORKeyStreamCTR(b *testing.B) {
+	e, err := NewEngine([]byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		e.XORKeyStreamCTR(buf, buf, Counter{PA: 0x1000, VN: uint64(i)})
+	}
+}

@@ -15,7 +15,11 @@
 // The hot path is zero-copy: traces are consumed as trace.Access
 // values directly, exploded into exact-size per-channel burst queues
 // (counted in a pre-pass, so queues never reallocate mid-fill), and
-// the queue buffers are recycled across runs. Channels are fully
+// the queue buffers are recycled across runs — within one simulator,
+// or across the several simulators of a workload sweep via a shared
+// Arena. RunOverlay consumes a protection scheme's spine+overlay
+// stream pair merged in anchor order, so the scheme-independent data
+// stream is never duplicated per scheme. Channels are fully
 // independent after the explode step, so they drain on parallel
 // goroutines by default; per-channel statistics merge in channel-index
 // order, making Stats bit-identical to a sequential drain.
@@ -148,11 +152,26 @@ type runState struct {
 	results []chanResult
 }
 
+// Arena is a shared pool of per-run scratch states that several
+// Simulators with the same geometry can draw from. The six protection
+// schemes of one workload each build their own Simulator but run over
+// traces of comparable size; pointing them at one Arena lets a queue
+// buffer warmed by one scheme be reused by the next instead of every
+// scheme growing a private set, cutting peak RSS on wide sweeps.
+// Arena is safe for concurrent use.
+type Arena struct {
+	pool sync.Pool // *runState
+}
+
+// NewArena builds an empty shared state pool.
+func NewArena() *Arena { return &Arena{} }
+
 // Simulator drains traces through the memory system.
 type Simulator struct {
 	cfg        Config
 	sequential bool
-	pool       sync.Pool // *runState
+	arena      *Arena    // shared scratch pool, if set
+	pool       sync.Pool // private *runState pool otherwise
 }
 
 // New builds a simulator.
@@ -171,27 +190,48 @@ func (s *Simulator) Config() Config { return s.cfg }
 // either way; the switch exists for determinism tests and debugging.
 func (s *Simulator) SetSequentialDrain(v bool) { s.sequential = v }
 
+// SetArena points the simulator at a shared scratch pool. Simulators
+// sharing an arena should have the same geometry; a pooled state whose
+// geometry does not match the configuration is discarded and rebuilt,
+// so mixing geometries is safe but defeats the reuse.
+func (s *Simulator) SetArena(a *Arena) { s.arena = a }
+
+// statePool returns the pool run states are drawn from and returned to.
+func (s *Simulator) statePool() *sync.Pool {
+	if s.arena != nil {
+		return &s.arena.pool
+	}
+	return &s.pool
+}
+
 // getState fetches (or builds) a runState sized for the configuration
 // and resets the parts a previous run dirtied. Queue buffers keep
 // their capacity across runs, so per-layer traces of similar size
 // explode without reallocating.
 func (s *Simulator) getState() *runState {
-	if v := s.pool.Get(); v != nil {
+	if v := s.statePool().Get(); v != nil {
 		st := v.(*runState)
-		for i := range st.chans {
-			ch := &st.chans[i]
-			for j := range ch.banks {
-				ch.banks[j] = bank{openRow: -1}
-			}
-			ch.busFree = 0
-			ch.busy = 0
-			ch.queue = ch.queue[:0]
-			ch.nextRef = s.cfg.TRefi
-			ch.refCount = 0
-			st.cursors[i] = 0
-			st.results[i] = chanResult{}
+		if len(st.chans) != s.cfg.Channels ||
+			(len(st.chans) > 0 && len(st.chans[0].banks) != s.cfg.BanksPerChan) {
+			// Arena shared across mismatched geometries: rebuild below.
+			st = nil
 		}
-		return st
+		if st != nil {
+			for i := range st.chans {
+				ch := &st.chans[i]
+				for j := range ch.banks {
+					ch.banks[j] = bank{openRow: -1}
+				}
+				ch.busFree = 0
+				ch.busy = 0
+				ch.queue = ch.queue[:0]
+				ch.nextRef = s.cfg.TRefi
+				ch.refCount = 0
+				st.cursors[i] = 0
+				st.results[i] = chanResult{}
+			}
+			return st
+		}
 	}
 	st := &runState{
 		chans:   make([]channel, s.cfg.Channels),
@@ -243,9 +283,30 @@ func (s *Simulator) RunTrace(t *trace.Trace) Stats { return s.RunAccesses(t.Acce
 // within the window, else oldest). Channels drain concurrently unless
 // SetSequentialDrain was called; statistics merge deterministically.
 func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
+	return s.run(func(yield func(*trace.Access)) {
+		for i := range accesses {
+			yield(&accesses[i])
+		}
+	})
+}
+
+// RunOverlay drains the merge of a shared data spine and a scheme's
+// overlay deltas, interleaved in anchor order, without materializing
+// the combined trace: both explode passes walk the two streams in
+// place. Stats are bit-identical to RunTrace over the materialized
+// merge (see TestRunOverlayMatchesMaterialized).
+func (s *Simulator) RunOverlay(spine *trace.Trace, deltas *trace.Overlay) Stats {
+	return s.run(func(yield func(*trace.Access)) {
+		trace.ForEachMerged(spine, deltas, yield)
+	})
+}
+
+// run drains whatever access stream iter yields (twice: a counting
+// pass and a fill pass — iter must replay identically).
+func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 	st := Stats{ChanCycles: make([]uint64, s.cfg.Channels)}
 	rs := s.getState()
-	defer s.pool.Put(rs)
+	defer s.statePool().Put(rs)
 	chans := rs.chans
 	nchan := uint64(s.cfg.Channels)
 
@@ -254,8 +315,7 @@ func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 	// round-robin the channels starting at its first burst's channel,
 	// so each channel gets n/C bursts plus one of the n%C remainder.
 	var total int
-	for i := range accesses {
-		a := &accesses[i]
+	iter(func(a *trace.Access) {
 		n := s.bursts(a.Bytes)
 		total += n
 		st.BytesMoved += uint64(n) * uint64(s.cfg.BurstBytes)
@@ -274,7 +334,7 @@ func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 			}
 			rs.cursors[c] += per + extra
 		}
-	}
+	})
 	if total == 0 {
 		return st
 	}
@@ -293,8 +353,7 @@ func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 
 	// Pass 2: fill. Queue order per channel matches the sequential
 	// explode order of the input, so scheduling is reproducible.
-	for i := range accesses {
-		a := &accesses[i]
+	iter(func(a *trace.Access) {
 		n := s.bursts(a.Bytes)
 		write := a.Kind == trace.Write
 		for b := 0; b < n; b++ {
@@ -303,7 +362,7 @@ func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 			chans[c].queue[rs.cursors[c]] = request{issue: a.Cycle, addr: addr, write: write}
 			rs.cursors[c]++
 		}
-	}
+	})
 
 	// Drain. Channels share no state after the explode, so they can
 	// run on parallel goroutines; each accumulates into its own

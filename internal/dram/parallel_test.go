@@ -2,6 +2,7 @@ package dram
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/trace"
@@ -48,6 +49,26 @@ func TestParallelDrainMatchesSequential(t *testing.T) {
 		stSeq := seq.RunTrace(tr)
 		if !reflect.DeepEqual(stPar, stSeq) {
 			t.Errorf("channels=%d: parallel %+v != sequential %+v", channels, stPar, stSeq)
+		}
+	}
+}
+
+// TestParallelDrainMatchesSequentialAcrossGOMAXPROCS repeats the
+// determinism anchor under forced parallelism settings (1, 2 and 8
+// Ps): with GOMAXPROCS>1 the channel goroutines genuinely preempt each
+// other, which a 1-core container never exercises.
+func TestParallelDrainMatchesSequentialAcrossGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	tr := mixedTrace(3000)
+	seq := newSim(t, 4)
+	seq.SetSequentialDrain(true)
+	want := seq.RunTrace(tr)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		par := newSim(t, 4)
+		if got := par.RunTrace(tr); !reflect.DeepEqual(got, want) {
+			t.Errorf("GOMAXPROCS=%d: parallel %+v != sequential %+v", procs, got, want)
 		}
 	}
 }

@@ -202,17 +202,49 @@ func (o LayerOverhead) MetaBytes() uint64 {
 	return o.MACBytes + o.VNBytes + o.TreeBytes + o.OverFetchBytes
 }
 
-// ProtectedLayer is a layer's augmented trace plus accounting.
+// ProtectedLayer is a layer's augmented trace plus accounting. The
+// augmented trace is represented as two streams: the Spine — the
+// scheme-independent data-access stream, aliased read-only from the
+// scalesim layer and shared by every scheme evaluated off the same
+// simulation — and the Deltas overlay holding only what this scheme
+// added, anchored into the spine. dram.RunOverlay consumes the two
+// streams directly; Materialize (or the Protect wrapper, which fills
+// Trace) flattens them for consumers that want one slice.
 type ProtectedLayer struct {
-	LayerID  int
-	Trace    *trace.Trace
+	LayerID int
+
+	// Spine is the shared data-access stream. Never mutate it: it is
+	// aliased by the scalesim result and by other schemes' layers.
+	Spine *trace.Trace
+
+	// Deltas is this scheme's metadata/over-fetch overlay.
+	Deltas *trace.Overlay
+
+	// Trace is the flattened spine+deltas merge. ProtectAll leaves it
+	// nil; Protect materializes it.
+	Trace *trace.Trace
+
 	Overhead LayerOverhead
+}
+
+// Materialize returns the layer's flat augmented trace, building it
+// from the spine and overlay if Protect has not already done so.
+func (pl *ProtectedLayer) Materialize() *trace.Trace {
+	if pl.Trace == nil {
+		pl.Trace = pl.Deltas.Materialize(pl.Spine)
+	}
+	return pl.Trace
 }
 
 // Result is a protected network run.
 type Result struct {
 	Scheme Scheme
 	Layers []ProtectedLayer
+
+	// DrainWrites is how many trailing overlay accesses of the final
+	// layer were emitted by the end-of-inference metadata-cache drain
+	// (SGX only; zero for the other schemes).
+	DrainWrites int
 }
 
 // TotalDataBytes sums baseline traffic across layers.

@@ -2,6 +2,7 @@ package memprot
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/authblock"
 	"repro/internal/cache"
@@ -10,22 +11,163 @@ import (
 	"repro/internal/trace"
 )
 
-// Protect runs a scheme over a simulated network and returns the
-// augmented per-layer traces and overhead accounting.
+// Arena recycles overlay storage across ProtectAll evaluations. On a
+// multi-workload sweep the per-scheme overlays are consumed (by the
+// DRAM model) and discarded once per workload; drawing them from an
+// arena lets the next workload refill the previous one's backing
+// arrays instead of growing fresh ones, which removes the overlay —
+// the dominant allocation of the protection phase — from the
+// steady-state profile.
+//
+// The free list is FIFO and ProtectAllArena both acquires and releases
+// overlays in layer-major (layer, scheme) order, so on repeated
+// evaluations each slot tends to get back a buffer grown to its own
+// previous size — an
+// SGX layer's 100k-entry array is not wasted on a Baseline layer that
+// needs none. The arena holds strong references (unlike sync.Pool), so
+// a GC mid-sweep cannot empty it. Safe for concurrent use.
+//
+// Callers that pass an Arena to ProtectAllArena own the release
+// discipline: call Release once the results are no longer referenced.
+type Arena struct {
+	mu   sync.Mutex
+	free []*trace.Overlay
+	head int // free[head:] are available
+}
+
+// NewArena builds an empty overlay arena.
+func NewArena() *Arena { return &Arena{} }
+
+// get returns an empty overlay, recycled FIFO if one is available.
+func (a *Arena) get() *trace.Overlay {
+	if a == nil {
+		return &trace.Overlay{}
+	}
+	a.mu.Lock()
+	if a.head < len(a.free) {
+		ov := a.free[a.head]
+		a.free[a.head] = nil
+		a.head++
+		a.mu.Unlock()
+		ov.Reset()
+		return ov
+	}
+	a.mu.Unlock()
+	return &trace.Overlay{}
+}
+
+// Release returns every overlay in the results to the arena. The
+// results (and anything aliasing their Deltas) must not be used
+// afterwards.
+func (a *Arena) Release(rs []*Result) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.head > 0 {
+		// Compact the consumed prefix so the queue's backing array
+		// stays bounded by the peak live inventory even when
+		// concurrent workloads keep it partially stocked.
+		n := copy(a.free, a.free[a.head:])
+		for i := n; i < len(a.free); i++ {
+			a.free[i] = nil
+		}
+		a.free = a.free[:n]
+		a.head = 0
+	}
+	// Push in layer-major (layer, scheme) order — the same order
+	// ProtectAllArena acquires in — so each slot's buffer comes back
+	// around to an equivalent slot next evaluation.
+	layers := 0
+	for _, r := range rs {
+		if r != nil && len(r.Layers) > layers {
+			layers = len(r.Layers)
+		}
+	}
+	for i := 0; i < layers; i++ {
+		for _, r := range rs {
+			if r == nil || i >= len(r.Layers) {
+				continue
+			}
+			if ov := r.Layers[i].Deltas; ov != nil {
+				r.Layers[i].Deltas = nil
+				a.free = append(a.free, ov)
+			}
+		}
+	}
+	a.mu.Unlock()
+}
+
+// ProtectAll evaluates a set of schemes over one simulated network
+// around a shared, immutable data spine: each layer's trace is walked
+// exactly once, with every access fanned out to all scheme emitters.
+// Schemes never copy the data stream — each ProtectedLayer's Spine
+// field aliases the scalesim layer trace, and the scheme contributes
+// only its metadata/over-fetch overlay, anchored into the spine. The
+// DRAM model consumes the two streams directly (dram.RunOverlay); the
+// merge is byte-identical to the flat traces the schemes used to build.
+func ProtectAll(schemes []Scheme, net *scalesim.NetworkResult, opts Options) ([]*Result, error) {
+	return ProtectAllArena(schemes, net, opts, nil)
+}
+
+// ProtectAllArena is ProtectAll drawing overlay storage from an arena
+// (which may be nil). See Arena for the recycling contract.
+func ProtectAllArena(schemes []Scheme, net *scalesim.NetworkResult, opts Options, arena *Arena) ([]*Result, error) {
+	ps := make([]*protector, len(schemes))
+	results := make([]*Result, len(schemes))
+	for k, s := range schemes {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		ps[k] = newProtector(s, opts)
+		if s.Kind == SeDA {
+			ps[k].precomputeSeDABlocks(net)
+		}
+		results[k] = &Result{
+			Scheme: s,
+			Layers: make([]ProtectedLayer, len(net.Layers)),
+		}
+	}
+	for i := range net.Layers {
+		lr := &net.Layers[i]
+		for k := range ps {
+			results[k].Layers[i] = ProtectedLayer{
+				LayerID: lr.LayerID,
+				Spine:   lr.Trace,
+				Deltas:  arena.get(),
+			}
+			ps[k].beginLayer(lr, &results[k].Layers[i])
+		}
+		for j := range lr.Trace.Accesses {
+			a := &lr.Trace.Accesses[j]
+			for k := range ps {
+				ps[k].access(j, a)
+			}
+		}
+		for k := range ps {
+			ps[k].endLayer()
+		}
+	}
+	for k := range ps {
+		ps[k].drain(results[k])
+	}
+	return results, nil
+}
+
+// Protect runs a single scheme over a simulated network and returns
+// the augmented per-layer traces and overhead accounting. It is the
+// flat-trace convenience wrapper over ProtectAll: each layer's Trace
+// field holds the materialized spine+overlay merge.
 func Protect(s Scheme, net *scalesim.NetworkResult, opts Options) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	rs, err := ProtectAll([]Scheme{s}, net, opts)
+	if err != nil {
 		return nil, err
 	}
-	p := newProtector(s, opts)
-	if s.Kind == SeDA {
-		p.precomputeSeDABlocks(net)
+	r := rs[0]
+	for i := range r.Layers {
+		r.Layers[i].Materialize()
 	}
-	res := &Result{Scheme: s}
-	for i := range net.Layers {
-		res.Layers = append(res.Layers, p.protectLayer(&net.Layers[i]))
-	}
-	p.drain(res)
-	return res, nil
+	return r, nil
 }
 
 // tensorRuns collects a layer's data runs for one tensor, rebased to
@@ -128,25 +270,31 @@ func rebaseUnion(a []trace.Access, abase uint64, b []trace.Access, bbase, common
 }
 
 // drain writes back the dirty metadata remaining in the SGX caches at
-// the end of the inference, charging the traffic (and trace accesses)
-// to the final layer. Other schemes hold no cached metadata.
+// the end of the inference, charging the traffic (and overlay
+// accesses) to the final layer. Other schemes hold no cached metadata.
+// Each cache's flush is charged at the top line of its own metadata
+// region — the MAC cache in [MACBase, VNBase), the VN cache in
+// [VNBase, TreeBase) — so per-class traffic lands in the right region
+// and maps to the channels that region's lines actually use.
 func (p *protector) drain(res *Result) {
 	if p.scheme.Kind != SGX || len(res.Layers) == 0 {
 		return
 	}
 	last := &res.Layers[len(res.Layers)-1]
 	line := uint64(p.opts.CacheLine)
+	anchor := last.Spine.Len()
 	var lastCycle uint64
-	if n := last.Trace.Len(); n > 0 {
-		lastCycle = last.Trace.Accesses[n-1].Cycle
+	if n := last.Spine.Len(); n > 0 {
+		lastCycle = last.Spine.Accesses[n-1].Cycle
 	}
 	for _, c := range []struct {
 		cache *cache.Cache
 		class trace.Class
+		addr  uint64
 		bytes *uint64
 	}{
-		{p.macc, trace.MACMeta, &last.Overhead.MACBytes},
-		{p.vnc, trace.VNMeta, &last.Overhead.VNBytes},
+		{p.macc, trace.MACMeta, VNBase - line, &last.Overhead.MACBytes},
+		{p.vnc, trace.VNMeta, TreeBase - line, &last.Overhead.VNBytes},
 	} {
 		wb := c.cache.Flush()
 		if wb == 0 {
@@ -154,22 +302,25 @@ func (p *protector) drain(res *Result) {
 		}
 		// The drained lines' individual addresses are immaterial for
 		// timing (back-to-back metadata writes); emit one aggregate
-		// write per cache.
-		last.Trace.Append(trace.Access{
+		// write per cache, addressed inside that cache's region.
+		last.Deltas.Append(anchor, trace.Access{
 			Cycle:  lastCycle,
-			Addr:   VNBase - line, // metadata region, distinct from data
+			Addr:   c.addr,
 			Bytes:  uint32(wb * line),
 			Kind:   trace.Write,
 			Class:  c.class,
 			Tensor: trace.Metadata,
 			Layer:  uint16(last.LayerID),
 		})
+		res.DrainWrites++
 		*c.bytes += wb * line
 	}
 }
 
-// protector holds per-network state (metadata caches persist across
-// layers within one inference).
+// protector holds per-network scheme state (metadata caches persist
+// across layers within one inference) plus the streaming cursor for
+// the layer currently being walked. ProtectAll drives it: beginLayer,
+// then access for every spine index in order, then endLayer.
 type protector struct {
 	scheme Scheme
 	opts   Options
@@ -180,6 +331,17 @@ type protector struct {
 	// size and grid anchor), chosen with inter-layer awareness.
 	sedaBlocks []map[trace.Tensor]uint64
 	sedaBases  []map[trace.Tensor]uint64
+
+	// Streaming state for the current layer.
+	pl     *ProtectedLayer
+	lr     *scalesim.LayerResult
+	anchor int // overlay anchor for metadata of the access in flight
+
+	// SeDA per-layer cursor.
+	sedaBlk    map[trace.Tensor]uint64
+	sedaBase   map[trace.Tensor]uint64
+	sedaFirst  bool
+	sedaLMAddr uint64
 }
 
 func newProtector(s Scheme, opts Options) *protector {
@@ -191,91 +353,129 @@ func newProtector(s Scheme, opts Options) *protector {
 	return p
 }
 
-func (p *protector) protectLayer(lr *scalesim.LayerResult) ProtectedLayer {
-	pl := ProtectedLayer{
-		LayerID: lr.LayerID,
-		Trace:   &trace.Trace{},
-	}
-	// Every scheme forwards each data access at least once; reserving
-	// the source length up front saves the early doubling reallocations
-	// on the hot append path.
-	pl.Trace.Reserve(lr.Trace.Len())
+// beginLayer points the emitter at a new layer's output slot.
+func (p *protector) beginLayer(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+	p.pl = pl
+	p.lr = lr
 	switch p.scheme.Kind {
 	case Baseline:
-		pl.Trace.AppendAll(lr.Trace)
+		// The spine is the whole trace; the analytical count matches
+		// the per-access sum (TestDataBytesInvariantAcrossSchemes).
 		pl.Overhead.DataBytes = lr.DataBytes()
-	case SGX:
-		p.protectSGX(lr, &pl)
-	case MGX:
-		p.protectMGX(lr, &pl)
 	case SeDA:
-		p.protectSeDA(lr, &pl)
+		p.sedaBlk = p.sedaBlocks[lr.LayerID]
+		p.sedaBase = p.sedaBases[lr.LayerID]
+		if b, ok := p.sedaBlk[trace.IFMap]; ok {
+			pl.Overhead.OptBlk = int(b)
+		} else {
+			pl.Overhead.OptBlk = authblock.MinBlock
+		}
+		p.sedaFirst = true
+		p.sedaLMAddr = LayerMACBase + uint64(lr.LayerID)*uint64(p.opts.CacheLine)
+	}
+}
+
+// access fans one spine access (spine index j) into the scheme's
+// overlay emitter.
+func (p *protector) access(j int, a *trace.Access) {
+	p.anchor = j + 1 // metadata trails its triggering access
+	switch p.scheme.Kind {
+	case Baseline:
+		// Pure pass-through: the spine carries everything.
+	case SGX:
+		p.sgxAccess(a)
+	case MGX:
+		p.mgxAccess(a)
+	case SeDA:
+		p.sedaAccess(j, a)
 	default:
 		panic(fmt.Sprintf("memprot: unhandled scheme %v", p.scheme.Kind))
 	}
-	return pl
 }
 
-// protectSGX models the full SGX-style protection unit: per-block MACs
-// through the MAC cache, per-block VNs through the VN cache, and a
-// tree walk above every VN-line miss, also through the VN cache.
-func (p *protector) protectSGX(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+// endLayer closes out per-layer metadata (SeDA's layer-MAC store).
+func (p *protector) endLayer() {
+	if p.scheme.Kind == SeDA && !p.sedaFirst {
+		// Store the updated layer MAC for the ofmap just produced,
+		// issued at the layer's final access.
+		n := p.lr.Trace.Len()
+		p.anchor = n
+		p.emitMeta(p.lr.Trace.Accesses[n-1], p.sedaLMAddr, uint32(p.opts.CacheLine), trace.Write, trace.MACMeta)
+		p.pl.Overhead.MACBytes += uint64(p.opts.CacheLine)
+	}
+	p.pl, p.lr = nil, nil
+}
+
+// metaRegionOffset maps a data-region base to its slice of a metadata
+// region: one entry of entryBytes per protection block. Scaling by the
+// scheme's block keeps distinct tensors' metadata ranges disjoint at
+// every granularity (a fixed >>6 would be wrong for 512 B blocks,
+// skewing channel mapping and region attribution).
+func metaRegionOffset(base, block, entryBytes uint64) uint64 {
+	return (base / block) * entryBytes
+}
+
+// sgxAccess models the full SGX-style protection unit for one data
+// access: per-block MACs through the MAC cache, per-block VNs through
+// the VN cache, and a tree walk above every VN-line miss, also through
+// the VN cache.
+func (p *protector) sgxAccess(a *trace.Access) {
+	pl := p.pl
 	block := uint64(p.scheme.Block)
 	line := uint64(p.opts.CacheLine)
 	blocksPerMACLine := line / macEntryBytes
 	blocksPerVNLine := line / vnEntryBytes
 
-	for _, a := range lr.Trace.Accesses {
-		pl.Trace.Append(a)
-		pl.Overhead.DataBytes += uint64(a.Bytes)
+	pl.Overhead.DataBytes += uint64(a.Bytes)
 
-		base := regionBase(a.Addr)
-		rel := a.Addr - base
-		n := uint64(a.Bytes)
-		b0 := rel / block
-		b1 := (rel + n - 1) / block
-		write := a.Kind == trace.Write
+	base := regionBase(a.Addr)
+	rel := a.Addr - base
+	n := uint64(a.Bytes)
+	b0 := rel / block
+	b1 := (rel + n - 1) / block
+	write := a.Kind == trace.Write
 
-		// MAC lines covering blocks [b0, b1], through the MAC cache.
-		for ml := b0 / blocksPerMACLine; ml <= b1/blocksPerMACLine; ml++ {
-			macAddr := MACBase + (base>>6)*macEntryBytes + ml*line
-			r := p.macc.Access(macAddr, write)
-			if r.Fill {
-				p.emitMeta(pl, a, macAddr, uint32(line), trace.Read, trace.MACMeta)
-				pl.Overhead.MACBytes += line
-			}
-			if r.Writeback {
-				p.emitMeta(pl, a, macAddr, uint32(line), trace.Write, trace.MACMeta)
-				pl.Overhead.MACBytes += line
-			}
+	// MAC lines covering blocks [b0, b1], through the MAC cache.
+	macRegion := MACBase + metaRegionOffset(base, block, macEntryBytes)
+	for ml := b0 / blocksPerMACLine; ml <= b1/blocksPerMACLine; ml++ {
+		macAddr := macRegion + ml*line
+		r := p.macc.Access(macAddr, write)
+		if r.Fill {
+			p.emitMeta(*a, macAddr, uint32(line), trace.Read, trace.MACMeta)
+			pl.Overhead.MACBytes += line
 		}
-
-		// VN lines plus the integrity-tree walk above each miss.
-		for vl := b0 / blocksPerVNLine; vl <= b1/blocksPerVNLine; vl++ {
-			vnAddr := VNBase + (base>>6)*vnEntryBytes + vl*line
-			r := p.vnc.Access(vnAddr, write)
-			if r.Fill {
-				p.emitMeta(pl, a, vnAddr, uint32(line), trace.Read, trace.VNMeta)
-				pl.Overhead.VNBytes += line
-				// Tree leaves are indexed by global VN line so nodes
-				// from different tensor regions never collide.
-				p.walkTree(pl, a, (vnAddr-VNBase)/line, write)
-			}
-			if r.Writeback {
-				p.emitMeta(pl, a, vnAddr, uint32(line), trace.Write, trace.VNMeta)
-				pl.Overhead.VNBytes += line
-			}
+		if r.Writeback {
+			p.emitMeta(*a, macAddr, uint32(line), trace.Write, trace.MACMeta)
+			pl.Overhead.MACBytes += line
 		}
-
-		// Whole-block granularity: over-fetch on reads, RMW on writes.
-		p.chargeAlignment(pl, a, base, block)
 	}
+
+	// VN lines plus the integrity-tree walk above each miss.
+	vnRegion := VNBase + metaRegionOffset(base, block, vnEntryBytes)
+	for vl := b0 / blocksPerVNLine; vl <= b1/blocksPerVNLine; vl++ {
+		vnAddr := vnRegion + vl*line
+		r := p.vnc.Access(vnAddr, write)
+		if r.Fill {
+			p.emitMeta(*a, vnAddr, uint32(line), trace.Read, trace.VNMeta)
+			pl.Overhead.VNBytes += line
+			// Tree leaves are indexed by global VN line so nodes
+			// from different tensor regions never collide.
+			p.walkTree(*a, (vnAddr-VNBase)/line, write)
+		}
+		if r.Writeback {
+			p.emitMeta(*a, vnAddr, uint32(line), trace.Write, trace.VNMeta)
+			pl.Overhead.VNBytes += line
+		}
+	}
+
+	// Whole-block granularity: over-fetch on reads, RMW on writes.
+	p.chargeAlignment(*a, base, block)
 }
 
 // walkTree climbs the integrity tree above VN line vl, fetching each
 // level through the VN cache until a cached (already-verified)
 // ancestor is found. The root is on-chip and never fetched.
-func (p *protector) walkTree(pl *ProtectedLayer, a trace.Access, vl uint64, write bool) {
+func (p *protector) walkTree(a trace.Access, vl uint64, write bool) {
 	line := uint64(p.opts.CacheLine)
 	idx := vl
 	for lvl := 1; lvl <= TreeLevels; lvl++ {
@@ -285,96 +485,72 @@ func (p *protector) walkTree(pl *ProtectedLayer, a trace.Access, vl uint64, writ
 		if !r.Fill {
 			return // verified ancestor cached: walk stops
 		}
-		p.emitMeta(pl, a, nodeAddr, uint32(line), trace.Read, trace.TreeMeta)
-		pl.Overhead.TreeBytes += line
+		p.emitMeta(a, nodeAddr, uint32(line), trace.Read, trace.TreeMeta)
+		p.pl.Overhead.TreeBytes += line
 		if r.Writeback {
-			p.emitMeta(pl, a, nodeAddr, uint32(line), trace.Write, trace.TreeMeta)
-			pl.Overhead.TreeBytes += line
+			p.emitMeta(a, nodeAddr, uint32(line), trace.Write, trace.TreeMeta)
+			p.pl.Overhead.TreeBytes += line
 		}
 	}
 }
 
-// protectMGX models MGX: version numbers are generated on-chip from
-// DNN state (zero traffic), MACs are fetched uncached at 8 B per
-// protection block, contiguously for a contiguous run.
-func (p *protector) protectMGX(lr *scalesim.LayerResult, pl *ProtectedLayer) {
+// mgxAccess models MGX for one data access: version numbers are
+// generated on-chip from DNN state (zero traffic), MACs are fetched
+// uncached at 8 B per protection block, contiguously for a contiguous
+// run.
+func (p *protector) mgxAccess(a *trace.Access) {
+	pl := p.pl
 	block := uint64(p.scheme.Block)
-	for _, a := range lr.Trace.Accesses {
-		pl.Trace.Append(a)
-		pl.Overhead.DataBytes += uint64(a.Bytes)
+	pl.Overhead.DataBytes += uint64(a.Bytes)
 
-		base := regionBase(a.Addr)
-		rel := a.Addr - base
-		n := uint64(a.Bytes)
-		blocks := tiling.BlocksTouched(rel, n, block)
-		macBytes := blocks * macEntryBytes
-		macAddr := MACBase + (base>>6)*macEntryBytes + (rel/block)*macEntryBytes
-		kind := trace.Read
-		if a.Kind == trace.Write {
-			kind = trace.Write
-		}
-		p.emitMeta(pl, a, macAddr, uint32(macBytes), kind, trace.MACMeta)
-		pl.Overhead.MACBytes += macBytes
-
-		p.chargeAlignment(pl, a, base, block)
+	base := regionBase(a.Addr)
+	rel := a.Addr - base
+	n := uint64(a.Bytes)
+	blocks := tiling.BlocksTouched(rel, n, block)
+	macBytes := blocks * macEntryBytes
+	macAddr := MACBase + metaRegionOffset(base, block, macEntryBytes) + (rel/block)*macEntryBytes
+	kind := trace.Read
+	if a.Kind == trace.Write {
+		kind = trace.Write
 	}
+	p.emitMeta(*a, macAddr, uint32(macBytes), kind, trace.MACMeta)
+	pl.Overhead.MACBytes += macBytes
+
+	p.chargeAlignment(*a, base, block)
 }
 
-// protectSeDA models SeDA's multi-level integrity verification: the
-// authblock search picks a tile-aligned optBlk per layer, optBlk MACs
-// are computed and XOR-aggregated on-chip, and only the layer MAC
-// lives off-chip (one metadata line read at the layer's first access
-// and one write at its last). Version numbers are on-chip (MGX-style)
-// and encryption is bandwidth-aware (no traffic impact).
-func (p *protector) protectSeDA(lr *scalesim.LayerResult, pl *ProtectedLayer) {
-	// Per-tensor block grids were precomputed with inter-layer
-	// awareness (the MAC binds fmap_idx, so each feature map carries
-	// its own grid; the activation tensor's grid is shared between
-	// its producer's writes and its consumer's reads).
-	blocks := p.sedaBlocks[lr.LayerID]
-	bases := p.sedaBases[lr.LayerID]
-	if b, ok := blocks[trace.IFMap]; ok {
-		pl.Overhead.OptBlk = int(b)
-	} else {
-		pl.Overhead.OptBlk = authblock.MinBlock
+// sedaAccess models SeDA's multi-level integrity verification for one
+// data access: the authblock search picked a tile-aligned optBlk per
+// layer, optBlk MACs are computed and XOR-aggregated on-chip, and only
+// the layer MAC lives off-chip (one metadata line read at the layer's
+// first access and one write at its last, emitted by endLayer).
+// Version numbers are on-chip (MGX-style) and encryption is
+// bandwidth-aware (no traffic impact).
+func (p *protector) sedaAccess(j int, a *trace.Access) {
+	pl := p.pl
+	if p.sedaFirst {
+		// Load the layer MAC line for the ifmap being consumed,
+		// ahead of the first data access.
+		p.anchor = j
+		p.emitMeta(*a, p.sedaLMAddr, uint32(p.opts.CacheLine), trace.Read, trace.MACMeta)
+		pl.Overhead.MACBytes += uint64(p.opts.CacheLine)
+		p.sedaFirst = false
+		p.anchor = j + 1
 	}
+	pl.Overhead.DataBytes += uint64(a.Bytes)
 
-	line := uint64(p.opts.CacheLine)
-	lmAddr := LayerMACBase + uint64(lr.LayerID)*line
-
-	first := true
-	var lastCycle uint64
-	for _, a := range lr.Trace.Accesses {
-		if first {
-			// Load the layer MAC line for the ifmap being consumed.
-			p.emitMeta(pl, a, lmAddr, uint32(line), trace.Read, trace.MACMeta)
-			pl.Overhead.MACBytes += line
-			first = false
-		}
-		pl.Trace.Append(a)
-		pl.Overhead.DataBytes += uint64(a.Bytes)
-
-		// Residual misalignment with the searched optBlk (zero when a
-		// tile-aligned divisor exists, which is the common case).
-		blk, ok := blocks[a.Tensor]
-		if !ok {
-			blk = authblock.MinBlock
-		}
-		p.chargeAlignment(pl, a, bases[a.Tensor], blk)
-		lastCycle = a.Cycle
+	// Residual misalignment with the searched optBlk (zero when a
+	// tile-aligned divisor exists, which is the common case).
+	blk, ok := p.sedaBlk[a.Tensor]
+	if !ok {
+		blk = authblock.MinBlock
 	}
-	if !first {
-		// Store the updated layer MAC for the ofmap just produced.
-		last := lr.Trace.Accesses[len(lr.Trace.Accesses)-1]
-		last.Cycle = lastCycle
-		p.emitMeta(pl, last, lmAddr, uint32(line), trace.Write, trace.MACMeta)
-		pl.Overhead.MACBytes += line
-	}
+	p.chargeAlignment(*a, p.sedaBase[a.Tensor], blk)
 }
 
 // chargeAlignment adds over-fetch (reads) or RMW read-back (writes)
 // for runs misaligned with the protection-block grid anchored at base.
-func (p *protector) chargeAlignment(pl *ProtectedLayer, a trace.Access, base, block uint64) {
+func (p *protector) chargeAlignment(a trace.Access, base, block uint64) {
 	rel := a.Addr - base
 	n := uint64(a.Bytes)
 	var extra uint64
@@ -387,14 +563,15 @@ func (p *protector) chargeAlignment(pl *ProtectedLayer, a trace.Access, base, bl
 		return
 	}
 	addr := base + tiling.RoundDown(rel, block)
-	p.emitMeta(pl, a, addr, uint32(extra), trace.Read, trace.OverFetch)
-	pl.Overhead.OverFetchBytes += extra
+	p.emitMeta(a, addr, uint32(extra), trace.Read, trace.OverFetch)
+	p.pl.Overhead.OverFetchBytes += extra
 }
 
-// emitMeta appends a metadata access inheriting the triggering
-// access's issue cycle and layer/tile tags.
-func (p *protector) emitMeta(pl *ProtectedLayer, src trace.Access, addr uint64, bytes uint32, kind trace.Kind, class trace.Class) {
-	pl.Trace.Append(trace.Access{
+// emitMeta appends a metadata access to the current layer's overlay at
+// the current anchor, inheriting the triggering access's issue cycle
+// and layer/tile tags.
+func (p *protector) emitMeta(src trace.Access, addr uint64, bytes uint32, kind trace.Kind, class trace.Class) {
+	p.pl.Deltas.Append(p.anchor, trace.Access{
 		Cycle:  src.Cycle,
 		Addr:   addr,
 		Bytes:  bytes,

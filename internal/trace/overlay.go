@@ -1,0 +1,93 @@
+package trace
+
+import "fmt"
+
+// Overlay is a delta stream over a shared, read-only spine trace: the
+// accesses a protection scheme *adds* (metadata, over-fetch), each
+// anchored to a position in the spine. The spine itself — the
+// scheme-independent data-access stream — is never copied; a scheme's
+// full augmented trace is the merge of the spine with its overlay, in
+// anchor order.
+//
+// Anchors are spine indices with "insert before" semantics: an overlay
+// access with anchor k is consumed after k spine accesses, i.e.
+// immediately before spine access k. An anchor equal to the spine
+// length places the access after the whole spine (end-of-trace
+// metadata such as cache drains). Appends must be made in nondecreasing
+// anchor order, which every scheme satisfies naturally by walking the
+// spine once.
+//
+// Anchors live in a parallel slice rather than inside Access so the
+// Access array stays densely packed for the consumers that iterate it.
+type Overlay struct {
+	Accesses []Access
+	Anchors  []int32
+}
+
+// Append adds an overlay access anchored before spine index anchor.
+// Anchors must be nondecreasing.
+func (o *Overlay) Append(anchor int, a Access) {
+	if n := len(o.Anchors); n > 0 && int32(anchor) < o.Anchors[n-1] {
+		panic(fmt.Sprintf("trace: overlay anchor %d after %d", anchor, o.Anchors[n-1]))
+	}
+	o.Accesses = append(o.Accesses, a)
+	o.Anchors = append(o.Anchors, int32(anchor))
+}
+
+// Len returns the number of overlay accesses.
+func (o *Overlay) Len() int { return len(o.Accesses) }
+
+// Reset empties the overlay, keeping the backing arrays so a recycled
+// overlay refills without reallocating.
+func (o *Overlay) Reset() {
+	o.Accesses = o.Accesses[:0]
+	o.Anchors = o.Anchors[:0]
+}
+
+// ForEachMerged walks the merge of spine and overlay in consumption
+// order — overlay accesses with anchor k come immediately before spine
+// access k — calling fn for each access. The pointer is only valid for
+// the duration of the call. A nil overlay walks the spine alone.
+func ForEachMerged(spine *Trace, ov *Overlay, fn func(*Access)) {
+	if ov == nil {
+		for k := range spine.Accesses {
+			fn(&spine.Accesses[k])
+		}
+		return
+	}
+	j := 0
+	for k := range spine.Accesses {
+		for j < len(ov.Accesses) && int(ov.Anchors[j]) <= k {
+			fn(&ov.Accesses[j])
+			j++
+		}
+		fn(&spine.Accesses[k])
+	}
+	for j < len(ov.Accesses) {
+		fn(&ov.Accesses[j])
+		j++
+	}
+}
+
+// MergedLen returns the length of the merged stream.
+func MergedLen(spine *Trace, ov *Overlay) int {
+	n := spine.Len()
+	if ov != nil {
+		n += ov.Len()
+	}
+	return n
+}
+
+// Materialize flattens the merge of spine and overlay into a fresh
+// Trace. The hot pipeline never calls this — the DRAM model consumes
+// the two streams directly — but flat-trace consumers (trace dumps,
+// per-access tests) use it to see exactly what a scheme's augmented
+// trace looks like.
+func (o *Overlay) Materialize(spine *Trace) *Trace {
+	out := &Trace{Accesses: make([]Access, 0, MergedLen(spine, o))}
+	ForEachMerged(spine, o, func(a *Access) {
+		out.Accesses = append(out.Accesses, *a)
+	})
+	return out
+}
+

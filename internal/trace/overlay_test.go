@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func spineOf(n int) *Trace {
+	t := &Trace{}
+	for i := 0; i < n; i++ {
+		t.Append(Access{Cycle: uint64(i), Addr: uint64(i) * 64, Bytes: 64, Class: Data})
+	}
+	return t
+}
+
+func TestOverlayMergeOrder(t *testing.T) {
+	spine := spineOf(3)
+	ov := &Overlay{}
+	ov.Append(0, Access{Addr: 0xA0, Class: MACMeta}) // before spine[0]
+	ov.Append(1, Access{Addr: 0xA1, Class: MACMeta}) // after spine[0]
+	ov.Append(1, Access{Addr: 0xA2, Class: VNMeta})  // same anchor keeps order
+	ov.Append(3, Access{Addr: 0xA3, Class: VNMeta})  // after the whole spine
+
+	var got []uint64
+	ForEachMerged(spine, ov, func(a *Access) { got = append(got, a.Addr) })
+	want := []uint64{0xA0, 0, 0xA1, 0xA2, 64, 128, 0xA3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merged order = %#x, want %#x", got, want)
+	}
+
+	m := ov.Materialize(spine)
+	if m.Len() != MergedLen(spine, ov) {
+		t.Fatalf("materialized length %d != %d", m.Len(), MergedLen(spine, ov))
+	}
+	for i, a := range m.Accesses {
+		if a.Addr != want[i] {
+			t.Errorf("materialized[%d].Addr = %#x, want %#x", i, a.Addr, want[i])
+		}
+	}
+}
+
+func TestOverlayEmptyAndNil(t *testing.T) {
+	spine := spineOf(2)
+	var got int
+	ForEachMerged(spine, nil, func(a *Access) { got++ })
+	if got != 2 {
+		t.Errorf("nil overlay walked %d accesses, want 2", got)
+	}
+	ov := &Overlay{}
+	m := ov.Materialize(spine)
+	if !reflect.DeepEqual(m.Accesses, spine.Accesses) {
+		t.Error("empty overlay materialization differs from spine")
+	}
+}
+
+func TestOverlayAnchorMonotonicity(t *testing.T) {
+	ov := &Overlay{}
+	ov.Append(2, Access{})
+	defer func() {
+		if recover() == nil {
+			t.Error("decreasing anchor did not panic")
+		}
+	}()
+	ov.Append(1, Access{})
+}
+
+func TestOverlayResetKeepsCapacity(t *testing.T) {
+	ov := &Overlay{}
+	for i := 0; i < 100; i++ {
+		ov.Append(i, Access{Addr: uint64(i)})
+	}
+	capA, capN := cap(ov.Accesses), cap(ov.Anchors)
+	ov.Reset()
+	if ov.Len() != 0 {
+		t.Fatalf("Reset left %d accesses", ov.Len())
+	}
+	if cap(ov.Accesses) != capA || cap(ov.Anchors) != capN {
+		t.Error("Reset dropped backing arrays")
+	}
+	ov.Append(0, Access{Addr: 7}) // refilling after Reset restarts anchors
+}

@@ -10,6 +10,20 @@ import (
 	"repro/internal/scalesim"
 )
 
+// protArena recycles protection-overlay storage across every network
+// evaluated in this process (see memprot.Arena). Results never escape
+// RunNetworkOpts — only aggregated RunResult rows do — so the overlays
+// can be released as soon as the DRAM phase has consumed them.
+var protArena = memprot.NewArena()
+
+// dramArena shares DRAM scratch state (per-channel burst queues, bank
+// arrays) across every simulator in the process: the six schemes of a
+// workload and all workloads of a sweep draw from one pool, so after
+// the first workload the queues are grown once and only refilled. The
+// geometry check in dram.Arena keeps the sharing safe if NPUs with
+// different channel counts are ever mixed in one process.
+var dramArena = dram.NewArena()
+
 // RunResult is one (NPU, network, scheme) evaluation.
 type RunResult struct {
 	NPU     string
@@ -48,6 +62,12 @@ func RunNetwork(npu NPUConfig, net *model.Network) ([]RunResult, error) {
 // RunNetworkOpts evaluates every scheme on one network under explicit
 // execution options and returns one row per scheme, ordered as
 // Schemes() (baseline last).
+//
+// The evaluation is built around a shared data spine: the scalesim
+// trace is walked once by memprot.ProtectAll, which hands every scheme
+// the same read-only data stream plus a per-scheme metadata overlay.
+// The DRAM phase then consumes spine+overlay pairs directly, with all
+// six schemes drawing their scratch queues from one shared arena.
 func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]RunResult, error) {
 	if err := npu.Validate(); err != nil {
 		return nil, err
@@ -61,25 +81,37 @@ func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]Run
 		return nil, err
 	}
 
-	// Schemes are independent given the shared schedule; evaluate them
-	// concurrently (each owns its protection state and DRAM model)
-	// unless the options force a single goroutine. Rows land in fixed
-	// slots, so scheduling never affects output order.
+	// One pass over each layer's trace covers all schemes. Overlay
+	// storage is drawn from a process-wide arena: on a sweep, each
+	// workload refills the buffers the previous workload's overlays
+	// grew, so the protection phase allocates almost nothing in steady
+	// state.
 	schemes := Schemes()
+	prots, err := memprot.ProtectAllArena(schemes, sim, memprot.DefaultOptions(), protArena)
+	if err != nil {
+		return nil, err
+	}
+	defer protArena.Release(prots)
+
+	// DRAM timing per scheme. Schemes are independent given their
+	// overlay streams; they run concurrently (each owns its DRAM
+	// model, all sharing the process-wide scratch arena) unless the
+	// options force a single goroutine. Rows land in fixed slots, so
+	// scheduling never affects output order.
 	rows := make([]RunResult, len(schemes))
 	errs := make([]error, len(schemes))
 	if opts.SequentialSchemes {
-		for i, s := range schemes {
-			rows[i], errs[i] = runScheme(npu, net, sim, s, opts)
+		for i := range schemes {
+			rows[i], errs[i] = runScheme(npu, net, sim, prots[i], opts)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for i, s := range schemes {
+		for i := range schemes {
 			wg.Add(1)
-			go func(i int, s memprot.Scheme) {
+			go func(i int) {
 				defer wg.Done()
-				rows[i], errs[i] = runScheme(npu, net, sim, s, opts)
-			}(i, s)
+				rows[i], errs[i] = runScheme(npu, net, sim, prots[i], opts)
+			}(i)
 		}
 		wg.Wait()
 	}
@@ -107,30 +139,27 @@ func safeRatio(num, den float64) float64 {
 	return num / den
 }
 
-// runScheme protects the simulated network with one scheme and runs
-// the augmented per-layer traces through the DRAM timing model.
-// Execution time is the sum over layers of max(compute, memory): the
-// accelerator double-buffers, so within a layer compute and DRAM
-// overlap, but layer boundaries synchronize.
-func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, s memprot.Scheme, opts SuiteOptions) (RunResult, error) {
-	prot, err := memprot.Protect(s, sim, memprot.DefaultOptions())
-	if err != nil {
-		return RunResult{}, err
-	}
+// runScheme runs one scheme's protected layers (shared spine plus
+// per-scheme overlay) through the DRAM timing model. Execution time is
+// the sum over layers of max(compute, memory): the accelerator
+// double-buffers, so within a layer compute and DRAM overlap, but
+// layer boundaries synchronize.
+func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, prot *memprot.Result, opts SuiteOptions) (RunResult, error) {
 	dsim, err := dram.New(npu.dramConfig())
 	if err != nil {
 		return RunResult{}, err
 	}
 	dsim.SetSequentialDrain(opts.SequentialDRAM)
+	dsim.SetArena(dramArena)
 
 	row := RunResult{
 		NPU:     npu.Name,
 		Network: net.Name,
-		Scheme:  s,
+		Scheme:  prot.Scheme,
 	}
 	for i := range prot.Layers {
 		pl := &prot.Layers[i]
-		st := dsim.RunTrace(pl.Trace)
+		st := dsim.RunOverlay(pl.Spine, pl.Deltas)
 		compute := sim.Layers[i].ComputeCycles
 		layerCycles := st.Cycles
 		if compute > layerCycles {
