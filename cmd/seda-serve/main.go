@@ -1,0 +1,75 @@
+// Command seda-serve exposes the evaluation pipeline as an HTTP
+// service — sweep-as-a-service. Every response is produced through a
+// content-addressed result cache (internal/rescache): results are
+// keyed by a canonical SHA-256 of (NPU config, network topology,
+// scheme set, pipeline version), identical concurrent requests
+// coalesce onto a single pipeline evaluation, and an optional disk
+// layer survives restarts.
+//
+// Endpoints:
+//
+//	GET /healthz                   liveness probe
+//	GET /metrics                   cache + request counters (Prometheus text)
+//	GET /v1/workloads              the 13 benchmark workloads
+//	GET /v1/schemes                the protection schemes and their features
+//	GET /v1/sweep?npu=server&fig=5a[&workloads=let,ncf][&format=csv]
+//	                               figure series (JSON, or CSV per Accept)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/rescache"
+	"repro/seda"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once bound (for -addr with port 0)")
+	cacheDir := flag.String("cache-dir", "auto", "disk cache directory; \"auto\" = <user cache dir>/seda-repro, \"off\" = memory only")
+	memEntries := flag.Int("mem-entries", 0, "in-memory cache entries (0 = default)")
+	workers := flag.Int("workers", 0, "workload-level worker pool size per sweep (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
+	flag.Parse()
+
+	opts := seda.DefaultSuiteOptions()
+	opts.Workers = *workers
+	if *seq {
+		opts = seda.SequentialOptions()
+	}
+
+	dir := rescache.ResolveDir(*cacheDir)
+	cache, err := rescache.New(rescache.Options{MaxEntries: *memEntries, Dir: dir})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if dir != "" {
+		fmt.Fprintf(os.Stderr, "seda-serve: disk cache at %s\n", dir)
+	}
+	fmt.Fprintf(os.Stderr, "seda-serve: listening on http://%s\n", bound)
+
+	srv := newServer(cache, opts)
+	if err := http.Serve(ln, srv.handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seda-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,347 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/memprot"
+	"repro/internal/model"
+	"repro/internal/rescache"
+	"repro/seda"
+)
+
+// server wires the HTTP surface to the cached evaluation pipeline. All
+// state is read-only after construction except the cache (internally
+// synchronized) and the request counter, so one server instance safely
+// handles concurrent requests; identical concurrent sweeps coalesce
+// onto one pipeline evaluation inside the cache's singleflight layer.
+type server struct {
+	cache *rescache.Cache
+	opts  seda.SuiteOptions
+	reqs  atomic.Uint64
+}
+
+func newServer(cache *rescache.Cache, opts seda.SuiteOptions) *server {
+	return &server{cache: cache, opts: opts}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
+	mux.HandleFunc("/metrics", s.get(s.handleMetrics))
+	mux.HandleFunc("/v1/workloads", s.get(s.handleWorkloads))
+	mux.HandleFunc("/v1/schemes", s.get(s.handleSchemes))
+	mux.HandleFunc("/v1/sweep", s.get(s.handleSweep))
+	return mux
+}
+
+// get counts the request and restricts the route to GET/HEAD.
+func (s *server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics exposes the cache and request counters in the
+// Prometheus text format.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	type metric struct {
+		name, kind, help string
+		value            uint64
+	}
+	for _, m := range []metric{
+		{"seda_http_requests_total", "counter", "HTTP requests received", s.reqs.Load()},
+		{"seda_cache_hits_total", "counter", "sweep lookups served from the in-memory cache", st.Hits},
+		{"seda_cache_disk_hits_total", "counter", "sweep lookups served from the disk cache", st.DiskHits},
+		{"seda_cache_coalesced_total", "counter", "sweep lookups coalesced onto an in-flight evaluation", st.Coalesced},
+		{"seda_cache_misses_total", "counter", "sweep lookups that ran a fresh pipeline evaluation", st.Computes},
+		{"seda_cache_errors_total", "counter", "pipeline evaluations that failed", st.Errors},
+		{"seda_cache_entries", "gauge", "entries resident in the in-memory cache", uint64(st.Entries)},
+		{"seda_cache_inflight", "gauge", "pipeline evaluations currently executing", uint64(st.Inflight)},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, m.value)
+	}
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	type workloadJSON struct {
+		Name   string `json:"name"`
+		Full   string `json:"full"`
+		Layers int    `json:"layers"`
+		MACs   uint64 `json:"macs"`
+	}
+	all := model.All()
+	out := make([]workloadJSON, len(all))
+	for i, n := range all {
+		out[i] = workloadJSON{Name: n.Name, Full: n.Full, Layers: len(n.Layers), MACs: n.TotalMACs()}
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+	type schemeJSON struct {
+		Name                  string `json:"name"`
+		Baseline              bool   `json:"baseline"`
+		EncryptionGranularity string `json:"encryption_granularity,omitempty"`
+		IntegrityGranularity  string `json:"integrity_granularity,omitempty"`
+		OffChipMetadata       string `json:"off_chip_metadata,omitempty"`
+		TilingAware           bool   `json:"tiling_aware"`
+		EncryptionScalable    bool   `json:"encryption_scalable"`
+	}
+	schemes := seda.Schemes()
+	out := make([]schemeJSON, len(schemes))
+	for i, sc := range schemes {
+		row := schemeJSON{Name: sc.Name(), Baseline: sc.Kind == memprot.Baseline}
+		if !row.Baseline {
+			f := sc.FeatureRow()
+			row.EncryptionGranularity = f.EncryptionGranularity
+			row.IntegrityGranularity = f.IntegrityGranularity
+			row.OffChipMetadata = f.OffChipMetadata
+			row.TilingAware = f.TilingAware
+			row.EncryptionScalable = f.EncryptionScalable
+		}
+		out[i] = row
+	}
+	writeJSON(w, out)
+}
+
+// figures maps the paper's figure names to (NPU, metric).
+var figures = map[string]struct {
+	npu    string
+	metric string // "traffic" (Fig. 5) or "perf" (Fig. 6)
+}{
+	"5a": {"server", "traffic"},
+	"5b": {"edge", "traffic"},
+	"6a": {"server", "perf"},
+	"6b": {"edge", "perf"},
+}
+
+// handleSweep answers /v1/sweep?npu=server&fig=5a[&workloads=let,ncf].
+//
+//   - npu selects the platform (server or edge); it may be omitted when
+//     fig implies it, and must agree with fig when both are given.
+//   - fig selects one figure series (5a/5b: normalized traffic,
+//     6a/6b: normalized performance). Without fig the full suite
+//     (both metrics, all rows) of the named NPU is returned, JSON
+//     only. At least one of npu and fig is required.
+//   - workloads optionally restricts the sweep to a comma-separated
+//     subset (case-insensitive); results for workloads already cached
+//     are reused, only the rest evaluate.
+//   - The body is CSV when the request asks for it (Accept: text/csv
+//     or ?format=csv), JSON otherwise.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+
+	figName := q.Get("fig")
+	npuName := q.Get("npu")
+	if figName == "" && npuName == "" {
+		badRequest(w, "missing npu (server or edge) or fig (5a, 5b, 6a or 6b)")
+		return
+	}
+	if figName != "" {
+		fig, ok := figures[figName]
+		if !ok {
+			badRequest(w, "unknown fig %q (want 5a, 5b, 6a or 6b)", figName)
+			return
+		}
+		if npuName == "" {
+			npuName = fig.npu
+		} else if npuName != fig.npu {
+			badRequest(w, "fig %s is the %s NPU, but npu=%q was requested", figName, fig.npu, npuName)
+			return
+		}
+	}
+	var npu seda.NPUConfig
+	switch npuName {
+	case "server":
+		npu = seda.ServerNPU()
+	case "edge":
+		npu = seda.EdgeNPU()
+	default:
+		badRequest(w, "unknown npu %q (want server or edge)", npuName)
+		return
+	}
+
+	nets := model.All()
+	if raw := q.Get("workloads"); raw != "" {
+		nets = nets[:0:0]
+		for _, name := range strings.Split(raw, ",") {
+			name = strings.TrimSpace(name)
+			n := model.ByName(name)
+			if n == nil {
+				badRequest(w, "unknown workload %q (known: %s)", name, strings.Join(model.Names(), ", "))
+				return
+			}
+			nets = append(nets, n)
+		}
+	}
+
+	csvOut, err := wantCSV(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	if csvOut && figName == "" {
+		badRequest(w, "csv output needs a fig parameter (5a, 5b, 6a or 6b); the full-suite dump is JSON only")
+		return
+	}
+
+	suite, err := seda.RunSuiteCached(s.cache, npu, nets, s.opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	switch {
+	case figName == "":
+		w.Header().Set("Content-Type", "application/json")
+		suite.WriteJSON(w) //nolint:errcheck // client gone mid-stream
+	case csvOut:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if figures[figName].metric == "traffic" {
+			suite.WriteTrafficCSV(w) //nolint:errcheck
+		} else {
+			suite.WritePerfCSV(w) //nolint:errcheck
+		}
+	default:
+		writeFigJSON(w, suite, figName)
+	}
+}
+
+// writeFigJSON emits one figure's series: per-workload values aligned
+// with the schemes array, plus the average row.
+func writeFigJSON(w http.ResponseWriter, suite *seda.SuiteResult, figName string) {
+	metric := figures[figName].metric
+	value := func(r seda.RunResult) float64 { return r.NormTraffic }
+	avg := suite.AvgNormTraffic
+	if metric == "perf" {
+		value = func(r seda.RunResult) float64 { return r.NormPerf }
+		avg = suite.AvgNormPerf
+	}
+
+	schemes := seda.Schemes()
+	type rowJSON struct {
+		Workload string    `json:"workload"`
+		Values   []float64 `json:"values"`
+	}
+	doc := struct {
+		NPU             string    `json:"npu"`
+		Fig             string    `json:"fig"`
+		Metric          string    `json:"metric"`
+		PipelineVersion string    `json:"pipeline_version"`
+		Schemes         []string  `json:"schemes"`
+		Rows            []rowJSON `json:"rows"`
+		Avg             []float64 `json:"avg"`
+	}{
+		NPU:             suite.NPU.Name,
+		Fig:             figName,
+		Metric:          metric,
+		PipelineVersion: seda.PipelineVersion,
+		Avg:             make([]float64, len(schemes)),
+	}
+	for _, sc := range schemes {
+		doc.Schemes = append(doc.Schemes, sc.Name())
+	}
+	for i, sc := range schemes {
+		doc.Avg[i] = avg(sc)
+	}
+	for _, name := range suite.Workloads() {
+		row := rowJSON{Workload: name, Values: make([]float64, len(schemes))}
+		for i, sc := range schemes {
+			rr, err := seda.SchemeRow(suite.Rows[name], sc)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			row.Values[i] = value(rr)
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	writeJSON(w, doc)
+}
+
+// wantCSV implements the format negotiation: an explicit ?format=
+// wins, then the Accept header; JSON is the default and wins q-value
+// ties, so only a client that strictly prefers text/csv gets CSV.
+func wantCSV(r *http.Request) (bool, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "csv":
+		return true, nil
+	case "json":
+		return false, nil
+	case "":
+	default:
+		return false, fmt.Errorf("unknown format %q (want json or csv)", f)
+	}
+	accept := r.Header.Get("Accept")
+	return acceptQuality(accept, "text/csv") > acceptQuality(accept, "application/json"), nil
+}
+
+// acceptQuality returns the q-value an Accept header assigns to a
+// media type; the most specific matching range wins (exact beats
+// type/* beats */*). An empty header accepts everything at q=1; no
+// matching range means q=0.
+func acceptQuality(header, mediaType string) float64 {
+	if strings.TrimSpace(header) == "" {
+		return 1
+	}
+	mainType := strings.SplitN(mediaType, "/", 2)[0]
+	bestSpec, bestQ := -1, 0.0
+	for _, part := range strings.Split(header, ",") {
+		fields := strings.Split(part, ";")
+		var spec int
+		switch strings.ToLower(strings.TrimSpace(fields[0])) {
+		case mediaType:
+			spec = 2
+		case mainType + "/*":
+			spec = 1
+		case "*/*":
+			spec = 0
+		default:
+			continue
+		}
+		q := 1.0
+		for _, param := range fields[1:] {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(param), "q="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					q = f
+				}
+			}
+		}
+		if spec > bestSpec {
+			bestSpec, bestQ = spec, q
+		}
+	}
+	if bestSpec < 0 {
+		return 0
+	}
+	return bestQ
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-stream
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}

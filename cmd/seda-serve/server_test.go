@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rescache"
+	"repro/seda"
+)
+
+// testHandler builds a server with a fresh in-memory cache. Requests
+// in tests restrict workloads to the millisecond-scale ones so the
+// whole file runs comfortably under `go test -race -short`.
+func testHandler(t *testing.T) (http.Handler, *rescache.Cache) {
+	t.Helper()
+	cache, err := rescache.New(rescache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(cache, seda.DefaultSuiteOptions()).handler(), cache
+}
+
+func doReq(t *testing.T, h http.Handler, url string, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := doReq(t, h, "/healthz", nil)
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := doReq(t, h, "/v1/workloads", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out []struct {
+		Name   string `json:"name"`
+		Full   string `json:"full"`
+		Layers int    `json:"layers"`
+		MACs   uint64 `json:"macs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 13 || out[0].Name != "let" || out[0].Layers == 0 || out[0].MACs == 0 {
+		t.Fatalf("workloads = %+v", out)
+	}
+}
+
+func TestSchemesEndpoint(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := doReq(t, h, "/v1/schemes", nil)
+	var out []struct {
+		Name     string `json:"name"`
+		Baseline bool   `json:"baseline"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(seda.Schemes()) {
+		t.Fatalf("schemes = %d, want %d", len(out), len(seda.Schemes()))
+	}
+	if !out[len(out)-1].Baseline {
+		t.Fatal("last scheme should be the baseline")
+	}
+}
+
+// All four figures answer in both JSON and CSV — the acceptance
+// criterion of the serving layer.
+func TestSweepAllFigsBothFormats(t *testing.T) {
+	h, _ := testHandler(t)
+	for _, fig := range []string{"5a", "5b", "6a", "6b"} {
+		url := "/v1/sweep?fig=" + fig + "&workloads=let,ncf"
+
+		rec := doReq(t, h, url, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("fig %s json: status %d: %s", fig, rec.Code, rec.Body.String())
+		}
+		var doc struct {
+			NPU     string   `json:"npu"`
+			Fig     string   `json:"fig"`
+			Metric  string   `json:"metric"`
+			Schemes []string `json:"schemes"`
+			Rows    []struct {
+				Workload string    `json:"workload"`
+				Values   []float64 `json:"values"`
+			} `json:"rows"`
+			Avg []float64 `json:"avg"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		wantNPU := map[byte]string{'a': "server", 'b': "edge"}[fig[1]]
+		wantMetric := map[byte]string{'5': "traffic", '6': "perf"}[fig[0]]
+		if doc.NPU != wantNPU || doc.Metric != wantMetric || doc.Fig != fig {
+			t.Fatalf("fig %s: header %+v", fig, doc)
+		}
+		if len(doc.Rows) != 2 || len(doc.Rows[0].Values) != len(seda.Schemes()) || len(doc.Avg) != len(seda.Schemes()) {
+			t.Fatalf("fig %s: malformed rows %+v", fig, doc)
+		}
+
+		rec = doReq(t, h, url, map[string]string{"Accept": "text/csv"})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("fig %s csv: status %d", fig, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+			t.Fatalf("fig %s csv: content-type %q", fig, ct)
+		}
+		recs, err := csv.NewReader(bytes.NewReader(rec.Body.Bytes())).ReadAll()
+		if err != nil {
+			t.Fatalf("fig %s: body not CSV: %v", fig, err)
+		}
+		if len(recs) != 4 || recs[0][0] != "workload" || recs[3][0] != "avg" {
+			t.Fatalf("fig %s: csv shape %v", fig, recs)
+		}
+	}
+}
+
+func TestSweepFullSuiteJSON(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := doReq(t, h, "/v1/sweep?npu=edge&workloads=let", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc struct {
+		NPU       string   `json:"npu"`
+		Workloads []string `json:"workloads"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.NPU != "edge" || len(doc.Workloads) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestSweepBadParams(t *testing.T) {
+	h, _ := testHandler(t)
+	for _, tc := range []struct {
+		url  string
+		want string
+	}{
+		{"/v1/sweep", "missing npu"},
+		{"/v1/sweep?fig=7c", "unknown fig"},
+		{"/v1/sweep?npu=tpu9", "unknown npu"},
+		{"/v1/sweep?fig=5a&npu=edge", "fig 5a is the server NPU"},
+		{"/v1/sweep?fig=5b&workloads=nope", "unknown workload"},
+		{"/v1/sweep?fig=5b&workloads=let&format=xml", "unknown format"},
+		{"/v1/sweep?npu=edge&workloads=let&format=csv", "needs a fig"},
+	} {
+		rec := doReq(t, h, tc.url, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.url, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), tc.want) {
+			t.Errorf("%s: body %q, want %q", tc.url, rec.Body.String(), tc.want)
+		}
+	}
+	// Unknown-workload errors must list the valid names.
+	rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=nope", nil)
+	if !strings.Contains(rec.Body.String(), "let") || !strings.Contains(rec.Body.String(), "yolo") {
+		t.Errorf("workload error does not list known names: %q", rec.Body.String())
+	}
+}
+
+func TestSweepMethodNotAllowed(t *testing.T) {
+	h, _ := testHandler(t)
+	req := httptest.NewRequest(http.MethodPost, "/v1/sweep?fig=5b", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", rec.Code)
+	}
+}
+
+// A cached response must be byte-identical to the fresh one, for every
+// format.
+func TestSweepCachedResponseByteIdentical(t *testing.T) {
+	h, cache := testHandler(t)
+	for _, url := range []string{
+		"/v1/sweep?fig=5b&workloads=let,ncf",
+		"/v1/sweep?fig=6b&workloads=let,ncf&format=csv",
+		"/v1/sweep?npu=edge&workloads=let,ncf",
+	} {
+		fresh := doReq(t, h, url, nil)
+		cached := doReq(t, h, url, nil)
+		if fresh.Code != http.StatusOK || cached.Code != http.StatusOK {
+			t.Fatalf("%s: status %d/%d", url, fresh.Code, cached.Code)
+		}
+		if !bytes.Equal(fresh.Body.Bytes(), cached.Body.Bytes()) {
+			t.Fatalf("%s: cached response differs from fresh", url)
+		}
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Fatalf("repeat requests never hit the cache: %+v", st)
+	}
+}
+
+// N identical concurrent sweep requests perform exactly one pipeline
+// evaluation per workload and return identical bodies. Runs under
+// `go test -race -short`.
+func TestSweepConcurrentSingleflight(t *testing.T) {
+	h, cache := testHandler(t)
+	const clients = 8
+	url := "/v1/sweep?fig=5b&workloads=let"
+
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := doReq(t, h, url, nil)
+			if rec.Code == http.StatusOK {
+				bodies[i] = rec.Body.Bytes()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("client %d failed", i)
+		}
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatalf("client %d body differs", i)
+		}
+	}
+	if st := cache.Stats(); st.Computes != 1 {
+		t.Fatalf("%d identical concurrent requests ran %d evaluations, want 1 (stats %+v)",
+			clients, st.Computes, st)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h, _ := testHandler(t)
+	doReq(t, h, "/v1/sweep?fig=5b&workloads=let", nil) // miss
+	doReq(t, h, "/v1/sweep?fig=5b&workloads=let", nil) // hit
+	rec := doReq(t, h, "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"seda_http_requests_total 3",
+		"seda_cache_misses_total 1",
+		"seda_cache_hits_total 1",
+		"seda_cache_entries 1",
+		"seda_cache_inflight 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// The Accept header is parsed per media-type, not by substring on the
+// whole header.
+func TestWantCSVNegotiation(t *testing.T) {
+	mk := func(accept, format string) *http.Request {
+		url := "/v1/sweep"
+		if format != "" {
+			url += "?format=" + format
+		}
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		return req
+	}
+	for _, tc := range []struct {
+		accept, format string
+		want           bool
+	}{
+		{"", "", false},
+		{"application/json", "", false},
+		{"text/csv", "", true},
+		{"text/*", "", true},                            // csv matches text/*, json gets q=0
+		{"application/json, text/csv;q=0.9", "", false}, // json preferred by q
+		{"application/json;q=0.5, text/csv", "", true},  // csv preferred by q
+		{"text/csv;q=0", "", false},                     // explicitly refused
+		{"text/csv, */*", "", false},                    // tie: JSON wins
+		{"text/csv", "json", false},                     // explicit format wins
+		{"application/json", "csv", true},
+	} {
+		got, err := wantCSV(mk(tc.accept, tc.format))
+		if err != nil || got != tc.want {
+			t.Errorf("accept=%q format=%q: got %v err %v, want %v", tc.accept, tc.format, got, err, tc.want)
+		}
+	}
+}
+
+// Exercise the real binary wiring end to end: bind :0, hit /healthz
+// through a TCP socket. Keeps the CI smoke step honest.
+func TestServerOverTCP(t *testing.T) {
+	cache, err := rescache.New(rescache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(cache, seda.DefaultSuiteOptions()).handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz over TCP: %d %q", resp.StatusCode, body)
+	}
+}

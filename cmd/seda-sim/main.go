@@ -41,7 +41,8 @@ func main() {
 
 	net := model.ByName(*workload)
 	if net == nil {
-		fmt.Fprintf(os.Stderr, "seda-sim: unknown workload %q\n", *workload)
+		fmt.Fprintf(os.Stderr, "seda-sim: unknown workload %q (known: %s)\n",
+			*workload, strings.Join(model.Names(), ", "))
 		os.Exit(1)
 	}
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/rescache"
 	"repro/seda"
 )
 
@@ -20,6 +21,9 @@ func main() {
 	table3 := flag.Bool("table3", false, "print Table III (scheme feature comparison) and exit")
 	workers := flag.Int("workers", 0, "workload-level worker pool size (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
+	jsonOut := flag.Bool("json", false, "emit the full suite (both metrics) of the NPUs the figure touches as JSON instead of tables (seda-serve's full-suite wire format)")
+	useCache := flag.Bool("cache", false, "memoize sweep results through the content-addressed cache (warm-start reruns)")
+	cacheDir := flag.String("cache-dir", "auto", "disk cache directory with -cache; \"auto\" = <user cache dir>/seda-repro (shared with seda-serve), \"off\" = memory only")
 	flag.Parse()
 
 	if *table3 {
@@ -33,6 +37,19 @@ func main() {
 		opts = seda.SequentialOptions()
 	}
 
+	// With -cache, results are served through the same content-addressed
+	// cache seda-serve uses; the default disk layer makes reruns of an
+	// already-swept figure near-instant (and shares warmth with a local
+	// seda-serve).
+	var cache *rescache.Cache
+	if *useCache {
+		var err error
+		cache, err = rescache.New(rescache.Options{Dir: rescache.ResolveDir(*cacheDir)})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	server := seda.ServerNPU()
 	edge := seda.EdgeNPU()
 
@@ -42,14 +59,36 @@ func main() {
 	var srv, edg *seda.SuiteResult
 	var err error
 	if needServer {
-		if srv, err = seda.RunSuiteOpts(server, model.All(), opts); err != nil {
+		if srv, err = seda.RunSuiteCached(cache, server, model.All(), opts); err != nil {
 			fatal(err)
 		}
 	}
 	if needEdge {
-		if edg, err = seda.RunSuiteOpts(edge, model.All(), opts); err != nil {
+		if edg, err = seda.RunSuiteCached(cache, edge, model.All(), opts); err != nil {
 			fatal(err)
 		}
+	}
+
+	if *jsonOut {
+		var suites []*seda.SuiteResult
+		if srv != nil {
+			suites = append(suites, srv)
+		}
+		if edg != nil {
+			suites = append(suites, edg)
+		}
+		if len(suites) == 0 {
+			fatal(fmt.Errorf("unknown figure %q", *fig))
+		}
+		if len(suites) == 1 {
+			err = suites[0].WriteJSON(os.Stdout)
+		} else {
+			err = seda.WriteSuitesJSON(os.Stdout, suites...)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	switch *fig {

@@ -28,7 +28,8 @@ func main() {
 
 	net := model.ByName(*workload)
 	if net == nil {
-		fatal(fmt.Errorf("unknown workload %q", *workload))
+		fatal(fmt.Errorf("unknown workload %q (known: %s)",
+			*workload, strings.Join(model.Names(), ", ")))
 	}
 	var npu seda.NPUConfig
 	switch *npuName {
@@ -39,7 +40,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown npu %q", *npuName))
 	}
-	scheme, err := schemeByName(*schemeName)
+	scheme, err := seda.SchemeByName(*schemeName)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,15 +93,6 @@ func main() {
 			})
 		}
 	}
-}
-
-func schemeByName(name string) (memprot.Scheme, error) {
-	for _, s := range seda.Schemes() {
-		if strings.EqualFold(s.Name(), name) {
-			return s, nil
-		}
-	}
-	return memprot.Scheme{}, fmt.Errorf("unknown scheme %q", name)
 }
 
 func kb(b uint64) float64 { return float64(b) / 1024 }

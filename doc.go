@@ -21,6 +21,14 @@
 //	internal/core      functional SeDA protection unit (Crypt+Integ engines)
 //	internal/nnexec    reference executor for the benchmark DNN layers
 //	internal/secinfer  end-to-end secure inference over the SeDA unit
+//	internal/rescache  content-addressed result cache (LRU + disk + singleflight)
+//
+// The pipeline is deterministic, so results are memoizable:
+// seda.RunSuiteCached/RunNetworkCached serve rows through
+// internal/rescache keyed by seda.ConfigFingerprint, and the
+// cmd/seda-serve HTTP server ("sweep-as-a-service") exposes the cached
+// sweeps as JSON or CSV with singleflight deduplication of concurrent
+// identical requests.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see DESIGN.md for the experiment index and

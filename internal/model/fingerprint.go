@@ -1,0 +1,55 @@
+package model
+
+import (
+	"crypto/sha256"
+	"strconv"
+)
+
+// This file defines the canonical byte encoding of a network topology,
+// the hashing substrate for content-addressed result caching (see
+// internal/rescache and seda.ConfigFingerprint). The encoding is
+// versioned and unambiguous: every field is either length-prefixed
+// (strings) or delimiter-terminated (integers), so distinct topologies
+// can never collide by concatenation. Two networks produce the same
+// bytes iff the evaluation pipeline would treat them identically.
+
+// canonicalVersion is bumped whenever the encoding itself changes, so
+// stale cache entries keyed on the old form simply stop matching.
+const canonicalVersion = "model/v1\n"
+
+// CanonicalBytes appends the canonical encoding of the network to dst
+// and returns the extended slice: the version tag, the short name, and
+// one record per layer in order (kind plus every shape field the
+// simulator reads).
+func (n *Network) CanonicalBytes(dst []byte) []byte {
+	dst = append(dst, canonicalVersion...)
+	dst = appendCanonicalString(dst, n.Name)
+	dst = strconv.AppendInt(dst, int64(len(n.Layers)), 10)
+	dst = append(dst, '\n')
+	for _, l := range n.Layers {
+		dst = appendCanonicalString(dst, l.Name)
+		for _, v := range [...]int{
+			int(l.Kind), l.IfmapH, l.IfmapW, l.FiltH, l.FiltW,
+			l.Channels, l.NumFilt, l.Stride, l.GemmM,
+		} {
+			dst = strconv.AppendInt(dst, int64(v), 10)
+			dst = append(dst, '|')
+		}
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// appendCanonicalString writes a length-prefixed string, immune to
+// delimiter characters appearing in the value.
+func appendCanonicalString(dst []byte, s string) []byte {
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, ':')
+	dst = append(dst, s...)
+	return dst
+}
+
+// Fingerprint returns the SHA-256 of the canonical encoding.
+func (n *Network) Fingerprint() [sha256.Size]byte {
+	return sha256.Sum256(n.CanonicalBytes(nil))
+}

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCanonicalBytesStable(t *testing.T) {
+	a := ByName("rest").CanonicalBytes(nil)
+	b := ByName("rest").CanonicalBytes(nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two constructions of the same network encode differently")
+	}
+	if ByName("rest").Fingerprint() != ByName("rest").Fingerprint() {
+		t.Fatal("fingerprint unstable")
+	}
+}
+
+func TestFingerprintDistinguishesNetworks(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, n := range All() {
+		fp := n.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s and %s", prev, n.Name)
+		}
+		seen[fp] = n.Name
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := LeNet()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"network name", func(n *Network) { n.Name = "let2" }},
+		{"layer dim", func(n *Network) { n.Layers[0].IfmapH++ }},
+		{"layer kind", func(n *Network) { n.Layers[3].Kind = Conv }},
+		{"layer stride", func(n *Network) { n.Layers[1].Stride++ }},
+		{"layer dropped", func(n *Network) { n.Layers = n.Layers[:len(n.Layers)-1] }},
+		{"layer order", func(n *Network) {
+			n.Layers[0], n.Layers[1] = n.Layers[1], n.Layers[0]
+		}},
+	} {
+		mutated := LeNet()
+		tc.mutate(mutated)
+		if mutated.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s change not reflected in fingerprint", tc.name)
+		}
+	}
+}
+
+// Layer-name boundaries must not be ambiguous: a delimiter-looking
+// character inside a name cannot make two different topologies encode
+// identically, because names are length-prefixed.
+func TestCanonicalBytesUnambiguousNames(t *testing.T) {
+	a := &Network{Name: "x", Layers: []Layer{FC("ab", 1, 2, 3)}}
+	b := &Network{Name: "x", Layers: []Layer{FC("a", 1, 2, 3)}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct layer names collide")
+	}
+}
+
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, q := range []string{"rest", "REST", "Rest"} {
+		n := ByName(q)
+		if n == nil || n.Name != "rest" {
+			t.Fatalf("ByName(%q) = %v, want rest", q, n)
+		}
+	}
+	if ByName("no-such-net") != nil {
+		t.Fatal("ByName should return nil for unknown workloads")
+	}
+}

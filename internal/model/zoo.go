@@ -1,5 +1,7 @@
 package model
 
+import "strings"
+
 // This file defines the 13 benchmark workloads of the paper's
 // evaluation (§IV-A): Lenet (let), Alexnet (alex), Mobilenet (mob),
 // ResNet18 (rest), GoogleNet (goo), DLRM (dlrm), AlphaGoZero (algo),
@@ -338,10 +340,13 @@ func All() []*Network {
 	}
 }
 
-// ByName returns the network with the given short name, or nil.
+// ByName returns the network with the given short name, or nil. The
+// match is case-insensitive ("REST" and "rest" are the same workload);
+// callers reporting a failed lookup should list Names() so users see
+// the valid set.
 func ByName(name string) *Network {
 	for _, n := range All() {
-		if n.Name == name {
+		if strings.EqualFold(n.Name, name) {
 			return n
 		}
 	}

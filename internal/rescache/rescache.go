@@ -1,0 +1,306 @@
+// Package rescache is a content-addressed result cache for expensive,
+// deterministic evaluations. Values are opaque byte blobs addressed by
+// a caller-supplied key (in practice a canonical SHA-256 fingerprint of
+// the evaluation's full input, see seda.ConfigFingerprint), so a key
+// can only ever map to one value and entries never need invalidation —
+// changing any input changes the key.
+//
+// The cache is three layers deep:
+//
+//   - an in-memory LRU bounded by entry count,
+//   - an optional write-through disk layer (one file per key, written
+//     atomically), surviving process restarts,
+//   - a singleflight front: concurrent lookups of the same missing key
+//     coalesce onto one computation; the rest block and share its
+//     result. N identical concurrent requests perform exactly one
+//     evaluation.
+//
+// All methods are safe for concurrent use. Returned blobs are shared —
+// callers must treat them as read-only.
+package rescache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultMaxEntries bounds the in-memory LRU when Options.MaxEntries
+// is zero. Entries are whole sweep results (a few KB each), so the
+// default comfortably holds every (NPU, workload) pair of the paper's
+// evaluation many times over.
+const DefaultMaxEntries = 1024
+
+// Options configures a Cache.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU; 0 means DefaultMaxEntries.
+	MaxEntries int
+	// Dir enables the disk layer when non-empty: every computed value
+	// is written through to Dir/<key>, and memory misses consult the
+	// directory before computing. The directory is created if needed.
+	Dir string
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Hits      uint64 // served from the in-memory LRU
+	DiskHits  uint64 // served from the disk layer (and promoted)
+	Coalesced uint64 // waited on an in-flight computation of the same key
+	Computes  uint64 // actual evaluations executed
+	Errors    uint64 // computations that returned an error (not cached)
+	Entries   int    // current in-memory entry count
+	Inflight  int    // computations currently executing
+}
+
+// call is one in-flight computation; waiters block on done.
+type call struct {
+	done chan struct{}
+	blob []byte
+	err  error
+}
+
+// Cache is a content-addressed blob cache. The zero value is not
+// usable; construct with New.
+type Cache struct {
+	maxEntries int
+	dir        string
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key  string
+	blob []byte
+}
+
+// ResolveDir interprets the -cache-dir convention shared by seda-serve
+// and seda-sweep, so both tools warm the same entries: "off" (or
+// empty) disables the disk layer, "auto" is a per-user default
+// directory (memory-only when the platform has none), anything else is
+// a literal path.
+func ResolveDir(flagValue string) string {
+	switch flagValue {
+	case "", "off":
+		return ""
+	case "auto":
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(base, "seda-repro")
+	default:
+		return flagValue
+	}
+}
+
+// New builds a cache. If opts.Dir is non-empty the directory is
+// created; a directory that cannot be created is an error (callers
+// that want best-effort disk caching should drop the dir themselves).
+func New(opts Options) (*Cache, error) {
+	if opts.MaxEntries <= 0 {
+		opts.MaxEntries = DefaultMaxEntries
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("rescache: disk layer: %w", err)
+		}
+	}
+	return &Cache{
+		maxEntries: opts.MaxEntries,
+		dir:        opts.Dir,
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+		inflight:   make(map[string]*call),
+	}, nil
+}
+
+// Get returns the cached blob for key, consulting memory then disk.
+// A disk hit is promoted into memory.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if blob, ok := c.memGetLocked(key); ok {
+		c.mu.Unlock()
+		return blob, true
+	}
+	c.mu.Unlock()
+
+	blob, ok := c.diskGet(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.memAddLocked(key, blob)
+	c.mu.Unlock()
+	return blob, true
+}
+
+// GetOrCompute returns the blob for key, computing it at most once per
+// process no matter how many goroutines ask concurrently. hit reports
+// whether the caller's own request was served without running compute
+// (memory hit, disk hit, or coalesced onto another caller's in-flight
+// computation). Errors from compute are returned to every coalesced
+// caller and are not cached.
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob []byte, hit bool, err error) {
+	c.mu.Lock()
+	if blob, ok := c.memGetLocked(key); ok {
+		c.mu.Unlock()
+		return blob, true, nil
+	}
+	if cl, ok := c.inflight[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-cl.done
+		return cl.blob, true, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.inflight[key] = cl
+	c.mu.Unlock()
+
+	// This goroutine is the leader for key: it checks disk and, on a
+	// full miss, evaluates. Both happen outside the lock so other keys
+	// proceed; same-key callers block on cl.done above.
+	var fromDisk bool
+	if diskBlob, ok := c.diskGet(key); ok {
+		cl.blob, fromDisk = diskBlob, true
+	} else {
+		cl.blob, cl.err = compute()
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	switch {
+	case cl.err != nil:
+		c.stats.Errors++
+	case fromDisk:
+		c.stats.DiskHits++
+		c.memAddLocked(key, cl.blob)
+	default:
+		c.stats.Computes++
+		c.memAddLocked(key, cl.blob)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+
+	if cl.err != nil {
+		return nil, false, cl.err
+	}
+	if !fromDisk {
+		c.diskPut(key, cl.blob)
+		return cl.blob, false, nil
+	}
+	return cl.blob, true, nil
+}
+
+// Evict removes key from the in-memory LRU and the disk layer. It is
+// the recovery path for corrupt entries (e.g. a truncated cache file):
+// the next lookup recomputes instead of re-serving the bad blob.
+func (c *Cache) Evict(key string) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	if path, ok := c.diskPath(key); ok {
+		os.Remove(path) //nolint:errcheck
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Inflight = len(c.inflight)
+	return s
+}
+
+// Len returns the in-memory entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *Cache) memGetLocked(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).blob, true
+}
+
+func (c *Cache) memAddLocked(key string, blob []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry).blob = blob
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, blob: blob})
+	for c.ll.Len() > c.maxEntries {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*entry).key)
+	}
+}
+
+// diskPath maps a key to its file. Keys are hex fingerprints, so they
+// are path-safe; reject anything else to keep the cache dir closed
+// under arbitrary key inputs.
+func (c *Cache) diskPath(key string) (string, bool) {
+	if c.dir == "" || key == "" {
+		return "", false
+	}
+	for _, r := range key {
+		if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f' || r >= 'A' && r <= 'F') {
+			return "", false
+		}
+	}
+	return filepath.Join(c.dir, key), true
+}
+
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	path, ok := c.diskPath(key)
+	if !ok {
+		return nil, false
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	return blob, true
+}
+
+// diskPut writes the blob atomically (temp file + rename) so readers
+// never observe a torn entry. Write failures are ignored: the disk
+// layer is an accelerator, not a store of record.
+func (c *Cache) diskPut(key string, blob []byte) {
+	path, ok := c.diskPath(key)
+	if !ok {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name) //nolint:errcheck
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name) //nolint:errcheck
+	}
+}

@@ -1,0 +1,82 @@
+package seda
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rescache"
+)
+
+// Cached evaluation wrappers. The cache is consulted per (NPU,
+// network) — one rescache entry per ConfigFingerprint — so a partial
+// sweep that already evaluated some workloads reuses exactly those
+// rows, and concurrent identical requests (e.g. two seda-serve clients
+// asking for the same figure) coalesce onto one pipeline evaluation
+// via the cache's singleflight layer.
+//
+// Entries store the rows' canonical JSON. JSON round-trips every field
+// exactly (floats via shortest-form encoding), so rows served from the
+// cache are indistinguishable from freshly computed ones and re-serialize
+// to byte-identical output — see TestCachedRowsByteIdentical.
+
+// RunNetworkCached evaluates every scheme on one network, serving from
+// (and filling) c. hit reports whether the result was served without a
+// fresh pipeline evaluation by this call: from memory, from the disk
+// layer, or by coalescing onto a concurrent identical evaluation. A
+// nil cache degrades to RunNetworkOpts.
+func RunNetworkCached(c *rescache.Cache, npu NPUConfig, net *model.Network, opts SuiteOptions) (rows []RunResult, hit bool, err error) {
+	if c == nil {
+		rows, err = RunNetworkOpts(npu, net, opts)
+		return rows, false, err
+	}
+	if err := npu.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := ConfigFingerprint(npu, net)
+	compute := func() ([]byte, error) {
+		fresh, err := RunNetworkOpts(npu, net, opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(fresh)
+	}
+	// A blob that fails to decode into the expected shape can only come
+	// from a damaged disk entry (freshly computed blobs are our own
+	// marshaling of a full scheme set): evict it and recompute once, so
+	// the cache self-heals instead of pinning the corruption in memory.
+	for attempt := 0; ; attempt++ {
+		blob, hit, err := c.GetOrCompute(key, compute)
+		if err != nil {
+			return nil, false, err
+		}
+		var decoded []RunResult
+		derr := json.Unmarshal(blob, &decoded)
+		if derr == nil && len(decoded) != len(Schemes()) {
+			derr = fmt.Errorf("%d rows, want %d", len(decoded), len(Schemes()))
+		}
+		if derr != nil {
+			if attempt == 0 {
+				c.Evict(key)
+				continue
+			}
+			return nil, false, fmt.Errorf("seda: corrupt cache entry %s: %w", key, derr)
+		}
+		return decoded, hit, nil
+	}
+}
+
+// RunSuiteCached is RunSuiteOpts with the per-network cache in front:
+// each (NPU, network) pair is looked up independently, so a sweep only
+// evaluates the workloads the cache has not seen. Uncached workloads
+// run through the same bounded worker pool as RunSuiteOpts, and output
+// is assembled in input order regardless of scheduling.
+func RunSuiteCached(c *rescache.Cache, npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
+	if c == nil {
+		return RunSuiteOpts(npu, nets, opts)
+	}
+	return runSuiteWith(npu, nets, opts, func(n *model.Network) ([]RunResult, error) {
+		rows, _, err := RunNetworkCached(c, npu, n, opts)
+		return rows, err
+	})
+}

@@ -1,0 +1,46 @@
+package seda
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// PipelineVersion identifies the evaluation semantics of this build:
+// the scalesim schedule, the protection-scheme models, and the DRAM
+// timing model. It is part of every cache fingerprint, so bump it
+// whenever a change moves any figure number — stale cached results
+// then stop matching instead of being served. The current value
+// corresponds to the post-PR-2 pipeline (closed-bank init, SGX drain
+// and region-offset fixes).
+const PipelineVersion = "3"
+
+// ConfigFingerprint returns the canonical SHA-256 (hex) of everything
+// that determines a RunNetwork evaluation's output: the pipeline
+// version, the full NPU configuration, the scheme set in plot order,
+// and the network's canonical topology encoding. It is the
+// content-address under which internal/rescache stores the result
+// rows: equal fingerprints imply byte-identical results, and any
+// change to an input changes the fingerprint.
+func ConfigFingerprint(npu NPUConfig, net *model.Network) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seda/v%s\n", PipelineVersion)
+	// Floats are encoded exactly (hex mantissa), not via a rounded
+	// decimal form, so configs differing below print precision still
+	// fingerprint apart.
+	fmt.Fprintf(h, "npu|%d:%s|%d|%d|%d|%s|%s|%d\n",
+		len(npu.Name), npu.Name, npu.ArrayRows, npu.ArrayCols, npu.SRAMBytes,
+		strconv.FormatFloat(npu.FreqHz, 'x', -1, 64),
+		strconv.FormatFloat(npu.BandwidthB, 'x', -1, 64),
+		npu.Channels)
+	fmt.Fprint(h, "schemes")
+	for _, s := range Schemes() {
+		fmt.Fprintf(h, "|%d:%d", s.Kind, s.Block)
+	}
+	fmt.Fprintln(h)
+	h.Write(net.CanonicalBytes(nil)) //nolint:errcheck
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,159 @@
+package seda
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/memprot"
+)
+
+// This file is the JSON face of the evaluation pipeline, shared by
+// `seda-sweep -json` and the seda-serve HTTP server, and also the
+// serialization the result cache stores (see cached.go). Field order
+// is fixed by the struct declarations and every value round-trips
+// exactly (encoding/json emits the shortest float form that parses
+// back to the same float64), so marshaling cached rows is
+// byte-identical to marshaling freshly computed ones.
+
+// runResultJSON mirrors RunResult with a stable wire field order and
+// the scheme flattened to its display name.
+type runResultJSON struct {
+	NPU           string  `json:"npu"`
+	Network       string  `json:"network"`
+	Scheme        string  `json:"scheme"`
+	DataBytes     uint64  `json:"data_bytes"`
+	MetaBytes     uint64  `json:"meta_bytes"`
+	NormTraffic   float64 `json:"norm_traffic"`
+	ExecCycles    uint64  `json:"exec_cycles"`
+	NormPerf      float64 `json:"norm_perf"`
+	ComputeCycles uint64  `json:"compute_cycles"`
+}
+
+// MarshalJSON emits the row with scheme as its figure name.
+func (r RunResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runResultJSON{
+		NPU:           r.NPU,
+		Network:       r.Network,
+		Scheme:        r.Scheme.Name(),
+		DataBytes:     r.DataBytes,
+		MetaBytes:     r.MetaBytes,
+		NormTraffic:   r.NormTraffic,
+		ExecCycles:    r.ExecCycles,
+		NormPerf:      r.NormPerf,
+		ComputeCycles: r.ComputeCycles,
+	})
+}
+
+// UnmarshalJSON parses a row, resolving the scheme by name.
+func (r *RunResult) UnmarshalJSON(b []byte) error {
+	var w runResultJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	scheme, err := SchemeByName(w.Scheme)
+	if err != nil {
+		return err
+	}
+	*r = RunResult{
+		NPU:           w.NPU,
+		Network:       w.Network,
+		Scheme:        scheme,
+		DataBytes:     w.DataBytes,
+		MetaBytes:     w.MetaBytes,
+		NormTraffic:   w.NormTraffic,
+		ExecCycles:    w.ExecCycles,
+		NormPerf:      w.NormPerf,
+		ComputeCycles: w.ComputeCycles,
+	}
+	return nil
+}
+
+// SchemeByName resolves a scheme display name ("SGX-64B", "SeDA", ...)
+// case-insensitively against Schemes().
+func SchemeByName(name string) (memprot.Scheme, error) {
+	for _, s := range Schemes() {
+		if strings.EqualFold(s.Name(), name) {
+			return s, nil
+		}
+	}
+	return memprot.Scheme{}, fmt.Errorf("seda: unknown scheme %q (known: %s)",
+		name, strings.Join(schemeNames(), ", "))
+}
+
+func schemeNames() []string {
+	schemes := Schemes()
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// suiteJSON is the wire form of a SuiteResult: workloads in figure
+// order as an array (not a map, whose key order encoding/json would
+// sort alphabetically), per-scheme averages aligned with the schemes
+// array.
+type suiteJSON struct {
+	NPU             string         `json:"npu"`
+	PipelineVersion string         `json:"pipeline_version"`
+	Schemes         []string       `json:"schemes"`
+	Workloads       []string       `json:"workloads"`
+	Rows            []suiteRowJSON `json:"rows"`
+	AvgNormTraffic  []float64      `json:"avg_norm_traffic"`
+	AvgNormPerf     []float64      `json:"avg_norm_perf"`
+	// HeadlineImprovementPP is the abstract's headline: percentage
+	// points of average performance overhead SeDA removes vs SGX-64B.
+	HeadlineImprovementPP float64 `json:"headline_improvement_pp"`
+}
+
+type suiteRowJSON struct {
+	Workload string      `json:"workload"`
+	Results  []RunResult `json:"results"`
+}
+
+func (s *SuiteResult) toJSON() suiteJSON {
+	schemes := Schemes()
+	out := suiteJSON{
+		NPU:                   s.NPU.Name,
+		PipelineVersion:       PipelineVersion,
+		Schemes:               schemeNames(),
+		Workloads:             s.Workloads(),
+		AvgNormTraffic:        make([]float64, len(schemes)),
+		AvgNormPerf:           make([]float64, len(schemes)),
+		HeadlineImprovementPP: s.HeadlineImprovement(),
+	}
+	for i, sc := range schemes {
+		out.AvgNormTraffic[i] = s.AvgNormTraffic(sc)
+		out.AvgNormPerf[i] = s.AvgNormPerf(sc)
+	}
+	for _, name := range out.Workloads {
+		out.Rows = append(out.Rows, suiteRowJSON{Workload: name, Results: s.Rows[name]})
+	}
+	return out
+}
+
+// WriteJSON emits the suite as one indented JSON object with a stable
+// field order, terminated by a newline. Output is deterministic:
+// identical suites (fresh or cache-round-tripped) serialize to
+// identical bytes.
+func (s *SuiteResult) WriteJSON(w io.Writer) error {
+	return encodeJSON(w, s.toJSON())
+}
+
+// WriteSuitesJSON emits several suites (e.g. server and edge) as one
+// JSON array, in argument order.
+func WriteSuitesJSON(w io.Writer, suites ...*SuiteResult) error {
+	arr := make([]suiteJSON, len(suites))
+	for i, s := range suites {
+		arr[i] = s.toJSON()
+	}
+	return encodeJSON(w, arr)
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

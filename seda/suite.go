@@ -70,6 +70,15 @@ func RunSuiteOn(npu NPUConfig, nets []*model.Network) (*SuiteResult, error) {
 // are collected per slot and assembled in input order, and the first
 // error (in input order) wins, so output is independent of scheduling.
 func RunSuiteOpts(npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
+	return runSuiteWith(npu, nets, opts, func(n *model.Network) ([]RunResult, error) {
+		return RunNetworkOpts(npu, n, opts)
+	})
+}
+
+// runSuiteWith is the suite scaffolding shared by RunSuiteOpts and
+// RunSuiteCached: a bounded worker pool over the workloads, per-slot
+// result collection, and input-order assembly and error reporting.
+func runSuiteWith(npu NPUConfig, nets []*model.Network, opts SuiteOptions, run func(*model.Network) ([]RunResult, error)) (*SuiteResult, error) {
 	workers := opts.workers()
 	if workers > len(nets) {
 		workers = len(nets)
@@ -79,7 +88,7 @@ func RunSuiteOpts(npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*Sui
 	errs := make([]error, len(nets))
 	if workers <= 1 {
 		for i, n := range nets {
-			rows[i], errs[i] = RunNetworkOpts(npu, n, opts)
+			rows[i], errs[i] = run(n)
 		}
 	} else {
 		idx := make(chan int)
@@ -89,7 +98,7 @@ func RunSuiteOpts(npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*Sui
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					rows[i], errs[i] = RunNetworkOpts(npu, nets[i], opts)
+					rows[i], errs[i] = run(nets[i])
 				}
 			}()
 		}
