@@ -6,6 +6,13 @@
 // coalesce onto a single pipeline evaluation, and an optional disk
 // layer survives restarts.
 //
+// The server is production-shaped: header/read/write/idle timeouts
+// bound slow clients, a bounded in-flight semaphore sheds distinct
+// concurrent evaluations with 503 once saturated, sweep responses
+// carry a strong ETag derived from the config fingerprint (so
+// If-None-Match revalidation costs microseconds), and SIGINT/SIGTERM
+// drain in-flight requests before exiting.
+//
 // Endpoints:
 //
 //	GET /healthz                   liveness probe
@@ -17,11 +24,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/rescache"
 	"repro/seda"
@@ -34,6 +46,11 @@ func main() {
 	memEntries := flag.Int("mem-entries", 0, "in-memory cache entries (0 = default)")
 	workers := flag.Int("workers", 0, "workload-level worker pool size per sweep (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
+	maxInflight := flag.Int("max-inflight", 4, "concurrent pipeline evaluations before shedding with 503 (0 = unlimited; cache hits and coalesced identical requests never count)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "full-request read timeout")
+	writeTimeout := flag.Duration("write-timeout", 3*time.Minute, "response write timeout (must cover a cold full-suite evaluation)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	flag.Parse()
 
 	opts := seda.DefaultSuiteOptions()
@@ -43,7 +60,11 @@ func main() {
 	}
 
 	dir := rescache.ResolveDir(*cacheDir)
-	cache, err := rescache.New(rescache.Options{MaxEntries: *memEntries, Dir: dir})
+	cache, err := rescache.New(rescache.Options{
+		MaxEntries:          *memEntries,
+		Dir:                 dir,
+		MaxInflightComputes: *maxInflight,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -63,9 +84,37 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "seda-serve: listening on http://%s\n", bound)
 
-	srv := newServer(cache, opts)
-	if err := http.Serve(ln, srv.handler()); err != nil {
-		fatal(err)
+	srv := &http.Server{
+		Handler:           newServer(cache, opts).handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	// Serve until a termination signal, then drain: Shutdown stops the
+	// listener immediately and waits for in-flight requests (a running
+	// sweep keeps its slot) up to the grace period.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		fmt.Fprintln(os.Stderr, "seda-serve: shutting down, draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "seda-serve: forced exit with requests in flight:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "seda-serve: drained")
 	}
 }
 

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -18,7 +21,9 @@ import (
 // state is read-only after construction except the cache (internally
 // synchronized) and the request counter, so one server instance safely
 // handles concurrent requests; identical concurrent sweeps coalesce
-// onto one pipeline evaluation inside the cache's singleflight layer.
+// onto one pipeline evaluation inside the cache's singleflight layer,
+// and distinct ones beyond the cache's bounded compute capacity are
+// shed with 503 (rescache.ErrSaturated).
 type server struct {
 	cache *rescache.Cache
 	opts  seda.SuiteOptions
@@ -26,6 +31,17 @@ type server struct {
 }
 
 func newServer(cache *rescache.Cache, opts seda.SuiteOptions) *server {
+	// One sweep fans its workloads over a worker pool, and every
+	// uncached workload's evaluation takes one of the cache's bounded
+	// compute slots. Clamp the pool to the slot count so a single cold
+	// sweep can never saturate the capacity against itself and shed its
+	// own workloads (slots are contended non-blocking; a lone sweep
+	// holding at most `slots` of them always proceeds).
+	if slots := cache.ComputeSlots(); slots > 0 {
+		if opts.Workers == 0 || opts.Workers > slots {
+			opts.Workers = slots
+		}
+	}
 	return &server{cache: cache, opts: opts}
 }
 
@@ -68,6 +84,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, m := range []metric{
 		{"seda_http_requests_total", "counter", "HTTP requests received", s.reqs.Load()},
+		{"seda_cache_shed_total", "counter", "sweep evaluations shed at the bounded compute capacity", st.Shed},
 		{"seda_cache_hits_total", "counter", "sweep lookups served from the in-memory cache", st.Hits},
 		{"seda_cache_disk_hits_total", "counter", "sweep lookups served from the disk cache", st.DiskHits},
 		{"seda_cache_coalesced_total", "counter", "sweep lookups coalesced onto an in-flight evaluation", st.Coalesced},
@@ -203,12 +220,35 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The representation is fully determined by the config fingerprints
+	// (pipeline version, NPU, schemes, topologies) plus the figure and
+	// format, so a strong ETag falls out without evaluating anything. A
+	// matching If-None-Match revalidates in microseconds: no compute
+	// slot, no cache lookup, no pipeline.
+	etag := sweepETag(npu, nets, figName, csvOut)
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		setValidators(w, etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	suite, err := seda.RunSuiteCached(s.cache, npu, nets, s.opts)
 	if err != nil {
+		if errors.Is(err, rescache.ErrSaturated) {
+			// The cache's bounded compute capacity is fully occupied
+			// by other evaluations (hits and coalesced identical
+			// requests never consume a slot). Shed instead of queueing;
+			// whatever this sweep did manage to evaluate is cached, so
+			// a retry makes progress.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "evaluation capacity saturated, retry shortly", http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 
+	setValidators(w, etag)
 	switch {
 	case figName == "":
 		w.Header().Set("Content-Type", "application/json")
@@ -223,6 +263,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeFigJSON(w, suite, figName)
 	}
+}
+
+// setValidators stamps the conditional-request headers on a sweep
+// response: the strong ETag plus no-cache, which lets any HTTP cache
+// store the body but forces an If-None-Match revalidation per use —
+// correct even across server rebuilds, because a pipeline change moves
+// the fingerprint and with it the tag.
+func setValidators(w http.ResponseWriter, etag string) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, no-cache")
 }
 
 // writeFigJSON emits one figure's series: per-workload values aligned
@@ -275,6 +325,37 @@ func writeFigJSON(w http.ResponseWriter, suite *seda.SuiteResult, figName string
 		doc.Rows = append(doc.Rows, row)
 	}
 	writeJSON(w, doc)
+}
+
+// sweepETag derives the strong validator for one sweep representation:
+// a hash over the per-workload config fingerprints (each already a
+// canonical SHA-256 of pipeline version, NPU config, scheme set and
+// topology — see seda.ConfigFingerprint) plus the figure selection and
+// body format. Equal tags imply byte-identical bodies; any input that
+// could move a byte changes the tag.
+func sweepETag(npu seda.NPUConfig, nets []*model.Network, figName string, csvOut bool) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep|fig=%s|csv=%v\n", figName, csvOut)
+	for _, n := range nets {
+		fmt.Fprintln(h, seda.ConfigFingerprint(npu, n))
+	}
+	return `"` + hex.EncodeToString(h.Sum(nil)[:16]) + `"`
+}
+
+// inmMatches reports whether an If-None-Match header matches the
+// entity tag: a wildcard, or any listed tag equal to ours (weak
+// validators compare equal to their strong form for GET revalidation).
+func inmMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // wantCSV implements the format negotiation: an explicit ?format=

@@ -329,3 +329,146 @@ func TestServerOverTCP(t *testing.T) {
 		t.Fatalf("healthz over TCP: %d %q", resp.StatusCode, body)
 	}
 }
+
+// TestSweepETagRevalidation pins the conditional-request contract:
+// sweep responses carry a strong ETag and Cache-Control, a matching
+// If-None-Match revalidates with 304 without touching the cache or the
+// pipeline (even for a config that was never evaluated), and the tag
+// varies with the representation (figure, format).
+func TestSweepETagRevalidation(t *testing.T) {
+	h, cache := testHandler(t)
+	url := "/v1/sweep?fig=5b&workloads=ncf"
+
+	fresh := doReq(t, h, url, nil)
+	if fresh.Code != http.StatusOK {
+		t.Fatalf("status %d", fresh.Code)
+	}
+	etag := fresh.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing or weak ETag %q", etag)
+	}
+	if cc := fresh.Header().Get("Cache-Control"); !strings.Contains(cc, "no-cache") {
+		t.Fatalf("Cache-Control %q, want a revalidation directive", cc)
+	}
+
+	before := cache.Stats()
+	rec := doReq(t, h, url, map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusNotModified || rec.Body.Len() != 0 {
+		t.Fatalf("revalidation: status %d body %dB, want 304 with empty body", rec.Code, rec.Body.Len())
+	}
+	if rec.Header().Get("ETag") != etag {
+		t.Fatalf("304 ETag %q != %q", rec.Header().Get("ETag"), etag)
+	}
+	after := cache.Stats()
+	if after.Hits != before.Hits || after.Computes != before.Computes || after.DiskHits != before.DiskHits {
+		t.Fatalf("304 touched the cache: before %+v after %+v", before, after)
+	}
+
+	// A stale tag gets the full body again.
+	if rec := doReq(t, h, url, map[string]string{"If-None-Match": `"deadbeef"`}); rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("stale tag: status %d body %dB", rec.Code, rec.Body.Len())
+	}
+	// Wildcard matches without a tag.
+	if rec := doReq(t, h, url, map[string]string{"If-None-Match": "*"}); rec.Code != http.StatusNotModified {
+		t.Fatalf("wildcard: status %d, want 304", rec.Code)
+	}
+
+	// 304 without ever evaluating: a fresh server has computed nothing,
+	// yet can revalidate a tag it can derive from fingerprints alone.
+	h2, cache2 := testHandler(t)
+	rec = doReq(t, h2, url, map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("cold revalidation: status %d, want 304", rec.Code)
+	}
+	if st := cache2.Stats(); st.Computes != 0 {
+		t.Fatalf("cold revalidation evaluated the pipeline: %+v", st)
+	}
+
+	// Distinct representations carry distinct tags.
+	tags := map[string]string{}
+	for _, u := range []string{
+		"/v1/sweep?fig=5b&workloads=ncf",
+		"/v1/sweep?fig=6b&workloads=ncf",
+		"/v1/sweep?fig=6b&workloads=ncf&format=csv",
+		"/v1/sweep?npu=edge&workloads=ncf",
+	} {
+		tag := doReq(t, h, u, nil).Header().Get("ETag")
+		if tag == "" {
+			t.Fatalf("%s: no ETag", u)
+		}
+		if prev, dup := tags[tag]; dup {
+			t.Fatalf("ETag collision between %s and %s", prev, u)
+		}
+		tags[tag] = u
+	}
+}
+
+// TestSweepShedsWhenSaturated pins the 503 path deterministically: the
+// server's single bounded compute slot is held open by a direct cache
+// computation, so a sweep that needs a fresh evaluation is shed with
+// 503 and Retry-After, succeeds on retry once the slot frees, and the
+// cache counts the shed.
+func TestSweepShedsWhenSaturated(t *testing.T) {
+	cache, err := rescache.New(rescache.Options{MaxInflightComputes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newServer(cache, seda.DefaultSuiteOptions()).handler()
+
+	held := make(chan struct{})
+	begun := make(chan struct{})
+	occupier := make(chan error, 1)
+	go func() {
+		_, _, err := cache.GetOrCompute("00ff", func() ([]byte, error) {
+			close(begun)
+			<-held
+			return []byte("x"), nil
+		})
+		occupier <- err
+	}()
+	<-begun // the one compute slot is now deterministically held
+
+	rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=ncf", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated sweep: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if st := cache.Stats(); st.Shed != 1 {
+		t.Fatalf("stats %+v, want Shed=1", st)
+	}
+
+	close(held)
+	if err := <-occupier; err != nil {
+		t.Fatal(err)
+	}
+	// With the slot free again, the shed sweep succeeds on retry.
+	if rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=ncf", nil); rec.Code != http.StatusOK {
+		t.Fatalf("retry after shed: status %d", rec.Code)
+	}
+}
+
+// TestColdSweepDoesNotSelfShed is the regression guard for the
+// capacity bound's one sharp edge: a sweep fans its workloads over a
+// worker pool, and if the pool outnumbered the compute slots a single
+// cold sweep on an idle server would shed its own workloads and 503.
+// newServer clamps the pool to the slot count, so the smallest
+// possible capacity must still serve a multi-workload cold sweep.
+func TestColdSweepDoesNotSelfShed(t *testing.T) {
+	cache, err := rescache.New(rescache.Options{MaxInflightComputes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := seda.DefaultSuiteOptions()
+	opts.Workers = 8 // deliberately above the single compute slot
+	h := newServer(cache, opts).handler()
+
+	rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=let,ncf", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold sweep on an idle server: status %d body %q", rec.Code, rec.Body.String())
+	}
+	if st := cache.Stats(); st.Shed != 0 || st.Computes != 2 {
+		t.Fatalf("stats %+v, want Shed=0 Computes=2", st)
+	}
+}

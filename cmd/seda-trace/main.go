@@ -24,6 +24,7 @@ func main() {
 	npuName := flag.String("npu", "edge", "npu config: server or edge")
 	schemeName := flag.String("scheme", "SeDA", "protection scheme: Baseline, SGX-64B, SGX-512B, MGX-64B, MGX-512B, SeDA")
 	dump := flag.Int("dump", 0, "dump the first N raw accesses per layer")
+	raw := flag.Bool("raw", false, "disable overlay coalescing: dump the uncoalesced metadata stream, one entry per emission (figures are identical either way)")
 	flag.Parse()
 
 	net := model.ByName(*workload)
@@ -53,7 +54,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prots, err := memprot.ProtectAll([]memprot.Scheme{scheme}, sim, memprot.DefaultOptions())
+	opts := memprot.DefaultOptions()
+	if *raw {
+		opts.CoalesceOverlays = false
+	}
+	prots, err := memprot.ProtectAll([]memprot.Scheme{scheme}, sim, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -12,21 +12,32 @@
 // 10 GB/s edge) over four 64-bit channels, so each channel's burst
 // timing is derived from its share of the aggregate.
 //
-// The hot path is zero-copy: traces are consumed as trace.Access
-// values directly, exploded into exact-size per-channel burst queues
-// (counted in a pre-pass, so queues never reallocate mid-fill), and
-// the queue buffers are recycled across runs — within one simulator,
-// or across the several simulators of a workload sweep via a shared
-// Arena. RunOverlay consumes a protection scheme's spine+overlay
-// stream pair merged in anchor order, so the scheme-independent data
-// stream is never duplicated per scheme. Channels are fully
-// independent after the explode step, so they drain on parallel
-// goroutines by default; per-channel statistics merge in channel-index
-// order, making Stats bit-identical to a sequential drain.
+// The hot path is zero-copy and decode-once: traces are consumed as
+// trace.Access values directly, exploded into exact-size per-channel
+// burst queues (counted in a pre-pass, so queues never reallocate
+// mid-fill), and every burst's bank and row are decoded exactly once
+// during the explode — via shift/mask when the geometry is a power of
+// two (always true for DDR4Like), via division otherwise — so the
+// scheduler never re-derives addresses. Within drainChannel the
+// FR-FCFS pick is found from per-bank knowledge: each bank tracks the
+// oldest in-window request targeting its open row, so the "oldest
+// ready row hit, else oldest ready, else time-jump" decision no longer
+// rescans the whole window per burst, while remaining bit-identical to
+// the window-scanning scheduler it replaced (TestFRFCFSGoldenPickOrder
+// pins the pick order). Queue buffers are recycled across runs —
+// within one simulator, or across the several simulators of a workload
+// sweep via a shared Arena. RunOverlay consumes a protection scheme's
+// spine+overlay stream pair merged in anchor order, so the
+// scheme-independent data stream is never duplicated per scheme.
+// Channels are fully independent after the explode step, so they drain
+// on parallel goroutines by default; per-channel statistics merge in
+// channel-index order, making Stats bit-identical to a sequential
+// drain.
 package dram
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 
 	"repro/internal/trace"
@@ -63,6 +74,9 @@ func (c Config) Validate() error {
 	}
 	if c.WindowSize <= 0 {
 		return fmt.Errorf("dram: window size %d <= 0", c.WindowSize)
+	}
+	if c.RowBytes < c.BurstBytes {
+		return fmt.Errorf("dram: row size %d below burst size %d", c.RowBytes, c.BurstBytes)
 	}
 	return nil
 }
@@ -110,10 +124,16 @@ func (s Stats) RowHitRate() float64 {
 	return float64(s.RowHits) / float64(tot)
 }
 
+// request is one burst, fully decoded at explode time: the channel is
+// implicit in which queue it lands in, and bank/row are computed once
+// so the scheduler's inner loop never touches an address again. The
+// read/write distinction is not stored — the timing model charges
+// reads and writes identically, and the Stats totals are counted in
+// the explode's first pass.
 type request struct {
 	issue uint64 // earliest schedulable cycle
-	addr  uint64
-	write bool
+	row   int64
+	bank  int32
 }
 
 type bank struct {
@@ -122,8 +142,20 @@ type bank struct {
 	activeAt uint64 // when the current row was activated (for tRAS)
 }
 
+// Sentinels for channel.hits, the per-bank open-row candidate cache.
+const (
+	hitNone  int32 = -1 // no in-window request targets the bank's open row
+	hitStale int32 = -2 // candidate unknown; rescan the window on next use
+)
+
 type channel struct {
-	banks    []bank
+	banks []bank
+	// hits[b] is the lowest in-window queue slot holding a request for
+	// bank b's currently open row (or a sentinel). It is maintained
+	// incrementally as requests enter the window, are picked, or change
+	// the open row, so the FR-FCFS "oldest ready row hit" is found by
+	// scanning banks instead of rescanning the window.
+	hits     []int32
 	busFree  uint64 // next cycle the data bus is free
 	busy     uint64 // accumulated busy cycles
 	queue    []request
@@ -166,9 +198,71 @@ type Arena struct {
 // NewArena builds an empty shared state pool.
 func NewArena() *Arena { return &Arena{} }
 
+// decoder splits byte addresses into (channel, bank, row) with the
+// burst-interleaved mapping. The geometry is folded into shift/mask
+// constants when every component is a power of two (DDR4Like always
+// is); otherwise it falls back to the division form. Both forms
+// produce identical mappings — the fast path is bit-for-bit the same
+// arithmetic, just strength-reduced.
+type decoder struct {
+	pow2       bool
+	burstShift uint
+	chanShift  uint
+	chanMask   uint64
+	rowShift   uint // log2(bursts per row)
+	bankShift  uint
+	bankMask   uint64
+
+	burstBytes   uint64
+	channels     uint64
+	burstsPerRow uint64
+	banks        uint64
+}
+
+func newDecoder(c Config) decoder {
+	d := decoder{
+		burstBytes:   uint64(c.BurstBytes),
+		channels:     uint64(c.Channels),
+		burstsPerRow: uint64(c.RowBytes / c.BurstBytes),
+		banks:        uint64(c.BanksPerChan),
+	}
+	pow2 := func(v uint64) bool { return bits.OnesCount64(v) == 1 }
+	if pow2(d.burstBytes) && pow2(d.channels) && pow2(d.burstsPerRow) && pow2(d.banks) {
+		d.pow2 = true
+		d.burstShift = uint(bits.TrailingZeros64(d.burstBytes))
+		d.chanShift = uint(bits.TrailingZeros64(d.channels))
+		d.chanMask = d.channels - 1
+		d.rowShift = uint(bits.TrailingZeros64(d.burstsPerRow))
+		d.bankShift = uint(bits.TrailingZeros64(d.banks))
+		d.bankMask = d.banks - 1
+	}
+	return d
+}
+
+// burst returns the global burst index of a byte address.
+func (d *decoder) burst(addr uint64) uint64 {
+	if d.pow2 {
+		return addr >> d.burstShift
+	}
+	return addr / d.burstBytes
+}
+
+// split decodes a global burst index into channel, bank and row.
+func (d *decoder) split(burst uint64) (ch uint64, bk int32, row int64) {
+	if d.pow2 {
+		ch = burst & d.chanMask
+		rowGlobal := (burst >> d.chanShift) >> d.rowShift
+		return ch, int32(rowGlobal & d.bankMask), int64(rowGlobal >> d.bankShift)
+	}
+	ch = burst % d.channels
+	rowGlobal := (burst / d.channels) / d.burstsPerRow
+	return ch, int32(rowGlobal % d.banks), int64(rowGlobal / d.banks)
+}
+
 // Simulator drains traces through the memory system.
 type Simulator struct {
 	cfg        Config
+	dec        decoder
 	sequential bool
 	arena      *Arena    // shared scratch pool, if set
 	pool       sync.Pool // private *runState pool otherwise
@@ -179,7 +273,7 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg}, nil
+	return &Simulator{cfg: cfg, dec: newDecoder(cfg)}, nil
 }
 
 // Config returns the configuration.
@@ -221,6 +315,7 @@ func (s *Simulator) getState() *runState {
 				ch := &st.chans[i]
 				for j := range ch.banks {
 					ch.banks[j] = bank{openRow: -1}
+					ch.hits[j] = hitNone
 				}
 				ch.busFree = 0
 				ch.busy = 0
@@ -240,27 +335,16 @@ func (s *Simulator) getState() *runState {
 	}
 	for i := range st.chans {
 		banks := make([]bank, s.cfg.BanksPerChan)
+		hits := make([]int32, s.cfg.BanksPerChan)
 		for j := range banks {
 			banks[j].openRow = -1 // all banks closed until first activate
+			hits[j] = hitNone
 		}
 		st.chans[i].banks = banks
+		st.chans[i].hits = hits
 		st.chans[i].nextRef = s.cfg.TRefi
 	}
 	return st
-}
-
-// mapAddr splits a byte address into channel, bank and row using
-// burst-interleaved channel mapping (consecutive bursts hit different
-// channels, the usual high-bandwidth NPU layout).
-func (s *Simulator) mapAddr(addr uint64) (ch, bk int, row int64) {
-	burst := addr / uint64(s.cfg.BurstBytes)
-	ch = int(burst % uint64(s.cfg.Channels))
-	perChan := burst / uint64(s.cfg.Channels)
-	burstsPerRow := uint64(s.cfg.RowBytes / s.cfg.BurstBytes)
-	rowGlobal := perChan / burstsPerRow
-	bk = int(rowGlobal % uint64(s.cfg.BanksPerChan))
-	row = int64(rowGlobal / uint64(s.cfg.BanksPerChan))
-	return ch, bk, row
 }
 
 // bursts returns how many bursts an access occupies.
@@ -324,7 +408,7 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 		} else {
 			st.Reads += uint64(n)
 		}
-		c0 := int((a.Addr / uint64(s.cfg.BurstBytes)) % nchan)
+		c0 := int(s.dec.burst(a.Addr) % nchan)
 		per := n / s.cfg.Channels
 		rem := n % s.cfg.Channels
 		for c := 0; c < s.cfg.Channels; c++ {
@@ -351,15 +435,15 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 		rs.cursors[c] = 0
 	}
 
-	// Pass 2: fill. Queue order per channel matches the sequential
-	// explode order of the input, so scheduling is reproducible.
+	// Pass 2: fill, decoding each burst's bank and row exactly once.
+	// Queue order per channel matches the sequential explode order of
+	// the input, so scheduling is reproducible.
 	iter(func(a *trace.Access) {
 		n := s.bursts(a.Bytes)
-		write := a.Kind == trace.Write
+		burst0 := s.dec.burst(a.Addr)
 		for b := 0; b < n; b++ {
-			addr := a.Addr + uint64(b*s.cfg.BurstBytes)
-			c := (addr / uint64(s.cfg.BurstBytes)) % nchan
-			chans[c].queue[rs.cursors[c]] = request{issue: a.Cycle, addr: addr, write: write}
+			c, bk, row := s.dec.split(burst0 + uint64(b))
+			chans[c].queue[rs.cursors[c]] = request{issue: a.Cycle, row: row, bank: bk}
 			rs.cursors[c]++
 		}
 	})
@@ -403,17 +487,45 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 	return st
 }
 
+// rescanHits recomputes a bank's open-row candidate: the lowest window
+// slot holding a request for (bank b, row). Called lazily when the
+// cached candidate goes stale — at most one bank per pick dirties its
+// cache, so the amortized cost per burst stays bounded by one cheap
+// field-compare sweep (no address decode).
+func rescanHits(q []request, head, win int, b int32, row int64) int32 {
+	for i := head; i < win; i++ {
+		if q[i].bank == b && q[i].row == row {
+			return int32(i)
+		}
+	}
+	return hitNone
+}
+
 // drainChannel schedules one channel's queue FR-FCFS and returns the
 // channel's private statistics, including the cycle at which its last
 // burst finishes. The reorder window slides over the queue: the
 // selected request is swapped to the window head and the head
-// advances, so selection is O(window) and removal O(1).
+// advances, so removal is O(1). The "oldest ready row hit" pick comes
+// from per-bank knowledge (channel.hits) instead of a window rescan:
+// each bank caches the oldest in-window request targeting its open
+// row, the caches are updated as requests enter the window, get
+// picked, or flip the open row, and the winning candidate is the
+// minimum slot over the ready banks — exactly the request the
+// window-scanning scheduler used to find (the golden pick-order test
+// pins the equivalence).
 func (s *Simulator) drainChannel(ch *channel) chanResult {
 	var res chanResult
 	var now uint64
 	var lastDone uint64
 	q := ch.queue
+	hits := ch.hits
 	head := 0
+	win := s.cfg.WindowSize
+	if win > len(q) {
+		win = len(q)
+	}
+	// Banks start closed (openRow -1 matches no request), so the
+	// initial window registers no candidates and hits[*] == hitNone.
 	for head < len(q) {
 		// Refresh stall if due.
 		if s.cfg.TRefi > 0 && now >= ch.nextRef {
@@ -422,6 +534,7 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 				if ch.banks[i].readyAt < now+s.cfg.TRfc {
 					ch.banks[i].readyAt = now + s.cfg.TRfc
 				}
+				hits[i] = hitNone // no open rows, so no row-hit candidates
 			}
 			now += s.cfg.TRfc
 			ch.busy += s.cfg.TRfc
@@ -430,24 +543,48 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			continue
 		}
 
-		// FR-FCFS: among the window, prefer the oldest row hit whose
-		// issue time has arrived; otherwise the oldest ready request;
-		// otherwise advance time.
-		win := head + s.cfg.WindowSize
-		if win > len(q) {
-			win = len(q)
-		}
+		// FR-FCFS rule 1: the oldest in-window row hit whose issue time
+		// has arrived, on a bank whose last access has completed. Each
+		// open bank contributes its cached oldest open-row request; the
+		// lowest slot across banks wins.
 		pick := -1
-		for i := head; i < win; i++ {
-			if q[i].issue > now {
+		for b := range ch.banks {
+			h := hits[b]
+			if h == hitNone {
 				continue
 			}
-			_, bk, row := s.mapAddr(q[i].addr)
-			if ch.banks[bk].openRow == row && ch.banks[bk].readyAt <= now {
-				pick = i
-				break
+			bk := &ch.banks[b]
+			if bk.readyAt > now {
+				continue
+			}
+			if h == hitStale {
+				h = rescanHits(q, head, win, int32(b), bk.openRow)
+				hits[b] = h
+				if h == hitNone {
+					continue
+				}
+			}
+			cand := int(h)
+			if q[cand].issue > now {
+				// The oldest open-row request is not issued yet; the
+				// rule wants the oldest *issued* one, which may sit
+				// further out in the window (rare).
+				cand = -1
+				for i := int(h) + 1; i < win; i++ {
+					if q[i].bank == int32(b) && q[i].row == bk.openRow && q[i].issue <= now {
+						cand = i
+						break
+					}
+				}
+				if cand < 0 {
+					continue
+				}
+			}
+			if pick < 0 || cand < pick {
+				pick = cand
 			}
 		}
+		// Rule 2: the oldest ready request regardless of row state.
 		if pick < 0 {
 			for i := head; i < win; i++ {
 				if q[i].issue <= now {
@@ -472,11 +609,23 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 		}
 
 		req := q[pick]
-		q[pick] = q[head]
+		if pick != head {
+			// Swap-removal: the head request slides to the freed slot.
+			// If it was its bank's cached oldest open-row request (it
+			// must be, being the lowest slot of all), the cache no
+			// longer knows the oldest — mark it stale.
+			moved := q[head]
+			q[pick] = moved
+			if hits[moved.bank] == int32(head) {
+				hits[moved.bank] = hitStale
+			}
+		}
+		if hits[req.bank] == int32(pick) {
+			hits[req.bank] = hitStale
+		}
 		head++
 
-		_, bk, row := s.mapAddr(req.addr)
-		b := &ch.banks[bk]
+		b := &ch.banks[req.bank]
 		start := now
 		if b.readyAt > start {
 			start = b.readyAt
@@ -484,13 +633,14 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 
 		var svc uint64
 		switch {
-		case b.openRow == row:
+		case b.openRow == req.row:
 			res.rowHits++
 			svc = s.cfg.TCL
 		case b.openRow == int64(-1):
 			res.rowEmpty++
 			svc = s.cfg.TRCD + s.cfg.TCL
 			b.activeAt = start
+			hits[req.bank] = hitStale // open row changed
 		default:
 			res.rowMisses++
 			// Honor tRAS before precharging the open row.
@@ -499,8 +649,21 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			}
 			svc = s.cfg.TRP + s.cfg.TRCD + s.cfg.TCL
 			b.activeAt = start + s.cfg.TRP
+			hits[req.bank] = hitStale // open row changed
 		}
-		b.openRow = row
+		b.openRow = req.row
+
+		// Slide the window: one slot enters as the head advances.
+		// Register it as its bank's candidate if it targets the (just
+		// updated) open row and the bank has none cached; a lower
+		// cached slot or a stale marker both take precedence.
+		if win < len(q) {
+			w := &q[win]
+			if hits[w.bank] == hitNone && ch.banks[w.bank].openRow == w.row {
+				hits[w.bank] = int32(win)
+			}
+			win++
+		}
 
 		// Data bus occupancy serializes bursts on the channel.
 		xferStart := start + svc

@@ -126,6 +126,30 @@ func TestNonPowerOfTwoChannels(t *testing.T) {
 	}
 }
 
+// TestRunTraceAllocGuard pins the steady-state allocation budget of
+// the hot path: a warmed simulator must stay at or below the pr2
+// level of 5 allocs per sequential RunTrace (the ChanCycles result
+// slice plus the replayable-iterator closures). A regression here —
+// e.g. a per-pick allocation sneaking into the bank-bucketed drain —
+// fails CI instead of silently rotting until someone reruns the
+// benchmarks.
+func TestRunTraceAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on its own")
+	}
+	tr := mixedTrace(2000)
+	s, err := New(DDR4Like(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSequentialDrain(true)
+	s.RunTrace(tr) // grow the pooled queues once
+	allocs := testing.AllocsPerRun(10, func() { s.RunTrace(tr) })
+	if allocs > 5 {
+		t.Errorf("RunTrace allocates %.1f times per run, want <= 5 (pr2 level)", allocs)
+	}
+}
+
 // BenchmarkRunTrace measures the zero-copy hot path. The seed adapter
 // (accessView copy + growing queues) ran this workload at 79 allocs/op
 // and ~3.4 MB/op; the counted pre-size explode with pooled buffers

@@ -1,0 +1,8 @@
+//go:build race
+
+package dram
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation adds allocations of its own; the
+// steady-state alloc guard only measures the real build.
+const raceEnabled = true

@@ -150,21 +150,34 @@ func (s Scheme) FeatureRow() Features {
 
 // Options configures the protection unit's on-chip metadata caches
 // (paper §IV-A: 16 KB VN cache, 8 KB MAC cache, LRU, write-back,
-// write-allocate).
+// write-allocate) and how the schemes' overlay streams are encoded.
 type Options struct {
 	VNCacheBytes  int
 	MACCacheBytes int
 	CacheLine     int
 	CacheWays     int
+
+	// CoalesceOverlays merges adjacent same-cycle, same-kind metadata
+	// emissions that are contiguous in the address space (e.g. an SGX
+	// multi-line MAC or VN fill) into one multi-line overlay entry.
+	// The DRAM burst explode of a coalesced overlay is bit-identical
+	// to the raw stream (see trace.Overlay.AppendCoalesce and the
+	// coalescing invariant in DESIGN.md), so every figure is
+	// unchanged; only the entry count — and with it overlay memory and
+	// per-entry explode overhead — drops. Raw mode exists for trace
+	// dumps (seda-trace -raw) and the equivalence tests.
+	CoalesceOverlays bool
 }
 
-// DefaultOptions returns the paper's cache configuration.
+// DefaultOptions returns the paper's cache configuration, with
+// overlay coalescing enabled.
 func DefaultOptions() Options {
 	return Options{
-		VNCacheBytes:  16 * 1024,
-		MACCacheBytes: 8 * 1024,
-		CacheLine:     64,
-		CacheWays:     8,
+		VNCacheBytes:     16 * 1024,
+		MACCacheBytes:    8 * 1024,
+		CacheLine:        64,
+		CacheWays:        8,
+		CoalesceOverlays: true,
 	}
 }
 

@@ -569,9 +569,13 @@ func (p *protector) chargeAlignment(a trace.Access, base, block uint64) {
 
 // emitMeta appends a metadata access to the current layer's overlay at
 // the current anchor, inheriting the triggering access's issue cycle
-// and layer/tile tags.
+// and layer/tile tags. With coalescing enabled (the default), an
+// emission that continues the previous one — same anchor, cycle, kind
+// and class, contiguous address — folds into it instead of appending,
+// so e.g. the line fills of a multi-line SGX MAC/VN walk become one
+// multi-line entry with an identical burst explode.
 func (p *protector) emitMeta(src trace.Access, addr uint64, bytes uint32, kind trace.Kind, class trace.Class) {
-	p.pl.Deltas.Append(p.anchor, trace.Access{
+	a := trace.Access{
 		Cycle:  src.Cycle,
 		Addr:   addr,
 		Bytes:  bytes,
@@ -580,5 +584,10 @@ func (p *protector) emitMeta(src trace.Access, addr uint64, bytes uint32, kind t
 		Tensor: trace.Metadata,
 		Layer:  src.Layer,
 		Tile:   src.Tile,
-	})
+	}
+	if p.opts.CoalesceOverlays {
+		p.pl.Deltas.AppendCoalesce(p.anchor, a)
+	} else {
+		p.pl.Deltas.Append(p.anchor, a)
+	}
 }

@@ -21,11 +21,19 @@ package rescache
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 )
+
+// ErrSaturated is returned by GetOrCompute when the cache cannot serve
+// a key from any layer and the bounded compute capacity
+// (Options.MaxInflightComputes) is fully occupied by other keys. The
+// result is not cached, so a later call retries; servers map it to a
+// 503 with Retry-After.
+var ErrSaturated = errors.New("rescache: compute capacity saturated")
 
 // DefaultMaxEntries bounds the in-memory LRU when Options.MaxEntries
 // is zero. Entries are whole sweep results (a few KB each), so the
@@ -41,6 +49,13 @@ type Options struct {
 	// is written through to Dir/<key>, and memory misses consult the
 	// directory before computing. The directory is created if needed.
 	Dir string
+	// MaxInflightComputes bounds how many distinct keys may be
+	// computing at once; 0 means unlimited. Hits (memory, disk) and
+	// coalesced waiters never consume a slot — only a full miss that
+	// would start a fresh evaluation does — and when no slot is free
+	// GetOrCompute sheds the request with ErrSaturated instead of
+	// queueing unbounded CPU work.
+	MaxInflightComputes int
 }
 
 // Stats is a point-in-time snapshot of cache activity.
@@ -50,6 +65,7 @@ type Stats struct {
 	Coalesced uint64 // waited on an in-flight computation of the same key
 	Computes  uint64 // actual evaluations executed
 	Errors    uint64 // computations that returned an error (not cached)
+	Shed      uint64 // misses rejected at the bounded compute capacity
 	Entries   int    // current in-memory entry count
 	Inflight  int    // computations currently executing
 }
@@ -66,6 +82,7 @@ type call struct {
 type Cache struct {
 	maxEntries int
 	dir        string
+	sem        chan struct{} // compute slots; nil = unlimited
 
 	mu       sync.Mutex
 	ll       *list.List // front = most recently used
@@ -111,13 +128,17 @@ func New(opts Options) (*Cache, error) {
 			return nil, fmt.Errorf("rescache: disk layer: %w", err)
 		}
 	}
-	return &Cache{
+	c := &Cache{
 		maxEntries: opts.MaxEntries,
 		dir:        opts.Dir,
 		ll:         list.New(),
 		entries:    make(map[string]*list.Element),
 		inflight:   make(map[string]*call),
-	}, nil
+	}
+	if opts.MaxInflightComputes > 0 {
+		c.sem = make(chan struct{}, opts.MaxInflightComputes)
+	}
+	return c, nil
 }
 
 // Get returns the cached blob for key, consulting memory then disk.
@@ -165,10 +186,23 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 
 	// This goroutine is the leader for key: it checks disk and, on a
 	// full miss, evaluates. Both happen outside the lock so other keys
-	// proceed; same-key callers block on cl.done above.
+	// proceed; same-key callers block on cl.done above. A fresh
+	// evaluation needs a compute slot when the capacity is bounded —
+	// none free means the whole machine is already saturated with
+	// evaluations, so the leader (and everyone coalesced onto it) sheds
+	// with ErrSaturated rather than piling more CPU work behind a
+	// growing tail latency.
 	var fromDisk bool
 	if diskBlob, ok := c.diskGet(key); ok {
 		cl.blob, fromDisk = diskBlob, true
+	} else if c.sem != nil {
+		select {
+		case c.sem <- struct{}{}:
+			cl.blob, cl.err = compute()
+			<-c.sem
+		default:
+			cl.err = ErrSaturated
+		}
 	} else {
 		cl.blob, cl.err = compute()
 	}
@@ -176,6 +210,8 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 	c.mu.Lock()
 	delete(c.inflight, key)
 	switch {
+	case errors.Is(cl.err, ErrSaturated):
+		c.stats.Shed++
 	case cl.err != nil:
 		c.stats.Errors++
 	case fromDisk:
@@ -197,6 +233,12 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 	}
 	return cl.blob, true, nil
 }
+
+// ComputeSlots returns the bounded compute capacity (0 = unlimited).
+// Callers that fan one logical request out over several keys should
+// bound their own parallelism by this, so a single request cannot
+// saturate the capacity against itself.
+func (c *Cache) ComputeSlots() int { return cap(c.sem) }
 
 // Evict removes key from the in-memory LRU and the disk layer. It is
 // the recovery path for corrupt entries (e.g. a truncated cache file):

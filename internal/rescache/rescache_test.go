@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func mustNew(t *testing.T, opts Options) *Cache {
@@ -212,4 +213,90 @@ func TestEvictRemovesMemoryAndDisk(t *testing.T) {
 	if err != nil || hit || string(blob) != "v2" {
 		t.Fatalf("post-evict: blob=%q hit=%v err=%v", blob, hit, err)
 	}
+}
+
+// TestBoundedComputesShed pins the load-shedding contract: with one
+// compute slot, a distinct key arriving mid-computation sheds with
+// ErrSaturated (uncached, so it retries cleanly later), while an
+// identical key coalesces onto the in-flight computation without
+// needing a slot. Hits never touch the bound either.
+func TestBoundedComputesShed(t *testing.T) {
+	c := mustNew(t, Options{MaxInflightComputes: 1})
+	block := make(chan struct{})
+	started := make(chan struct{})
+	leader := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute("aa01", func() ([]byte, error) {
+			close(started)
+			<-block
+			return []byte("a"), nil
+		})
+		leader <- err
+	}()
+	<-started
+
+	// Distinct key while the slot is held: shed, not queued.
+	if _, _, err := c.GetOrCompute("bb02", func() ([]byte, error) {
+		t.Error("shed compute ran")
+		return nil, nil
+	}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("distinct key during saturation: err=%v, want ErrSaturated", err)
+	}
+
+	// Identical key: coalesces (no slot needed), shares the result.
+	coal := make(chan string, 1)
+	go func() {
+		blob, hit, err := c.GetOrCompute("aa01", func() ([]byte, error) {
+			t.Error("coalesced caller computed")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			t.Errorf("coalesced caller: hit=%v err=%v", hit, err)
+		}
+		coal <- string(blob)
+	}()
+	// Wait until the waiter has registered on the in-flight call (the
+	// Coalesced counter increments before it blocks), so releasing the
+	// leader below cannot race it into a plain memory hit.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Coalesced == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("coalesced waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(block)
+	if err := <-leader; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if got := <-coal; got != "a" {
+		t.Fatalf("coalesced blob %q, want %q", got, "a")
+	}
+
+	// The shed key was never cached; with the slot free it computes.
+	blob, hit, err := c.GetOrCompute("bb02", func() ([]byte, error) { return []byte("b"), nil })
+	if err != nil || hit || string(blob) != "b" {
+		t.Fatalf("post-saturation retry: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+
+	st := c.Stats()
+	if st.Shed != 1 || st.Errors != 0 || st.Computes != 2 || st.Coalesced != 1 {
+		t.Fatalf("stats %+v, want Shed=1 Errors=0 Computes=2 Coalesced=1", st)
+	}
+
+	// A memory hit during saturation is served normally.
+	hold := make(chan struct{})
+	begun := make(chan struct{})
+	go func() {
+		c.GetOrCompute("cc03", func() ([]byte, error) { //nolint:errcheck
+			close(begun)
+			<-hold
+			return []byte("c"), nil
+		})
+	}()
+	<-begun
+	if blob, hit, err := c.GetOrCompute("aa01", nil); err != nil || !hit || string(blob) != "a" {
+		t.Fatalf("hit during saturation: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+	close(hold)
 }

@@ -34,6 +34,38 @@ func (o *Overlay) Append(anchor int, a Access) {
 	o.Anchors = append(o.Anchors, int32(anchor))
 }
 
+// CoalesceQuantum is the transfer granularity coalescing reasons
+// about: an overlay entry may only absorb a follow-up access when its
+// own size is a whole number of 64-byte units, so the combined entry
+// explodes into exactly the bursts the two entries produced apart.
+// The identity holds for any DRAM burst size that divides 64 — every
+// geometry in the repo uses 64-byte bursts.
+const CoalesceQuantum = 64
+
+// AppendCoalesce adds an overlay access like Append, but first tries
+// to merge it into the previous entry. The merge fires only when the
+// combined entry is indistinguishable from the pair at the DRAM layer:
+// same anchor (no spine access lands between them), same issue cycle,
+// kind, class and tags (so attribution and dumps keep their meaning),
+// the previous entry covering whole 64-byte units, and this access
+// starting exactly where the previous one ends. Under those conditions
+// the burst explode of the merged entry is bit-identical to the
+// uncoalesced stream — see the coalescing invariant in DESIGN.md —
+// while metadata-heavy schemes emit several-fold fewer entries (an SGX
+// multi-line MAC or VN fill run collapses into one entry).
+func (o *Overlay) AppendCoalesce(anchor int, a Access) {
+	if n := len(o.Accesses); n > 0 && int(o.Anchors[n-1]) == anchor {
+		p := &o.Accesses[n-1]
+		if p.Cycle == a.Cycle && p.Kind == a.Kind && p.Class == a.Class &&
+			p.Tensor == a.Tensor && p.Layer == a.Layer && p.Tile == a.Tile &&
+			p.Bytes%CoalesceQuantum == 0 && p.Addr+uint64(p.Bytes) == a.Addr {
+			p.Bytes += a.Bytes
+			return
+		}
+	}
+	o.Append(anchor, a)
+}
+
 // Len returns the number of overlay accesses.
 func (o *Overlay) Len() int { return len(o.Accesses) }
 
@@ -90,4 +122,3 @@ func (o *Overlay) Materialize(spine *Trace) *Trace {
 	})
 	return out
 }
-

@@ -160,10 +160,13 @@ func (s *SuiteResult) AvgNormPerf(scheme memprot.Scheme) float64 {
 }
 
 func (s *SuiteResult) avg(scheme memprot.Scheme, f func(RunResult) float64) float64 {
+	// Sum in Workloads() order, not map order: float addition is not
+	// associative, so a map-order walk made the last few bits of the
+	// averages (and every serialized byte downstream) vary run to run.
 	var sum float64
 	var n int
-	for _, rows := range s.Rows {
-		for _, r := range rows {
+	for _, name := range s.Workloads() {
+		for _, r := range s.Rows[name] {
 			if r.Scheme == scheme {
 				sum += f(r)
 				n++
