@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"repro/internal/memprot"
@@ -24,11 +25,25 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the full suite (both metrics) of the NPUs the figure touches as JSON instead of tables (seda-serve's full-suite wire format)")
 	useCache := flag.Bool("cache", false, "memoize sweep results through the content-addressed cache (warm-start reruns)")
 	cacheDir := flag.String("cache-dir", "auto", "disk cache directory with -cache; \"auto\" = <user cache dir>/seda-repro (shared with seda-serve), \"off\" = memory only")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (the hot-path work of PRs 1–5 was steered by exactly this view; pair with -seq for a single-goroutine profile)")
 	flag.Parse()
 
 	if *table3 {
 		printTable3()
 		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close() //nolint:errcheck
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		profileFile = f
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := seda.DefaultSuiteOptions()
@@ -164,7 +179,15 @@ func check(b bool) string {
 	return "no"
 }
 
+// profileFile is the -cpuprofile output, kept so fatal can flush it:
+// os.Exit skips defers, and an unflushed pprof file is truncated junk.
+var profileFile *os.File
+
 func fatal(err error) {
+	if profileFile != nil {
+		pprof.StopCPUProfile()
+		profileFile.Close() //nolint:errcheck
+	}
 	fmt.Fprintln(os.Stderr, "seda-sweep:", err)
 	os.Exit(1)
 }

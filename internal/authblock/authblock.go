@@ -49,7 +49,10 @@ type Cost struct {
 func (c Cost) Total() uint64 { return c.MACBytes + c.OverFetch + c.RMWBytes }
 
 // Evaluate scores one candidate block size against a set of access
-// runs.
+// runs with a direct per-access scan. It is the reference cost model:
+// the RunSet-summary evaluation the searches use must stay
+// bit-identical to it (the randomized property test and the
+// FuzzAuthblockEvaluate target both compare against this scan).
 func Evaluate(runs []trace.Access, block int) Cost {
 	c := Cost{Block: block}
 	b := uint64(block)
@@ -69,6 +72,14 @@ func Evaluate(runs []trace.Access, block int) Cost {
 // given run lengths: powers of two from MinBlock to MaxBlock plus
 // every divisor of each distinct run length within [MinBlock,
 // MaxBlock] (the tile-aligned candidates).
+//
+// The result is deterministic for any input order or duplication: it
+// is deduplicated and sorted ascending, so the search visits
+// candidates smallest-first regardless of how the lengths were
+// collected (TestCandidatesDeterministicOrder pins this). A nil or
+// empty runLens yields exactly the power-of-two ladder; non-positive
+// lengths — the zero-length runs a degenerate schedule can emit — are
+// skipped rather than searched for divisors.
 func Candidates(runLens []int) []int {
 	seen := map[int]bool{}
 	var out []int
@@ -133,45 +144,31 @@ func Search(runs []trace.Access) Result {
 
 // SearchWeighted picks the optBlk under explicit cost weights. Ties
 // prefer the larger block (fewer MACs to compute on-chip).
+//
+// The access slice is summarized into a RunSet once and every
+// candidate is scored against the summary, instead of the legacy
+// rescan of the full slice per candidate. The Result — chosen block,
+// cost breakdown, and per-candidate scores — is bit-identical to the
+// legacy scan (all cost components are integer sums, so dedup
+// multiplication and evaluation order cannot change a single bit; the
+// randomized property test pins it).
 func SearchWeighted(runs []trace.Access, w Weights) Result {
 	if len(runs) == 0 {
 		return Result{Best: Cost{Block: MinBlock}}
 	}
-	lens := make([]int, 0, 8)
-	distinct := map[int]bool{}
-	for _, a := range runs {
-		if n := int(a.Bytes); !distinct[n] {
-			distinct[n] = true
-			lens = append(lens, n)
-		}
-	}
-	cands := Candidates(lens)
-	res := Result{}
-	bestScore := 0.0
-	for _, b := range cands {
-		c := Evaluate(runs, b)
-		res.Scores = append(res.Scores, c)
-		s := w.score(c)
-		if res.Best.Block == 0 || s < bestScore ||
-			(s == bestScore && c.Block > res.Best.Block) {
-			res.Best = c
-			bestScore = s
-		}
-	}
-	if res.Best.Block == 0 {
-		res.Best = Cost{Block: MinBlock}
-	}
-	return res
+	rs := NewRunSet(runs)
+	return rs.SearchWeighted(w)
 }
 
 // SearchLayer runs the search over a layer's data accesses only
 // (metadata accesses are a scheme artifact, not schedule geometry).
 func SearchLayer(t *trace.Trace) Result {
-	runs := make([]trace.Access, 0, len(t.Accesses))
-	for _, a := range t.Accesses {
-		if a.Class == trace.Data {
-			runs = append(runs, a)
+	b := newBuilder()
+	for i := range t.Accesses {
+		if a := &t.Accesses[i]; a.Class == trace.Data {
+			b.add(a.Addr, a.Bytes, a.Kind)
 		}
 	}
-	return Search(runs)
+	rs := b.finalize(false)
+	return rs.Search()
 }

@@ -158,6 +158,18 @@ func TestScoresCoverAllCandidates(t *testing.T) {
 	if len(res.Scores) == 0 {
 		t.Fatal("no candidate scores recorded")
 	}
+	// Scores must cover exactly the deterministic candidate list, in
+	// its documented ascending order.
+	cands := Candidates([]int{256})
+	if len(res.Scores) != len(cands) {
+		t.Fatalf("scored %d candidates, want %d", len(res.Scores), len(cands))
+	}
+	for i, s := range res.Scores {
+		if s.Block != cands[i] {
+			t.Errorf("score %d is for block %d, want %d (ascending candidate order)",
+				i, s.Block, cands[i])
+		}
+	}
 	found := false
 	for _, s := range res.Scores {
 		if s.Block == res.Best.Block && s.Total() == res.Best.Total() {

@@ -12,21 +12,26 @@
 // 10 GB/s edge) over four 64-bit channels, so each channel's burst
 // timing is derived from its share of the aggregate.
 //
-// The hot path is zero-copy and decode-once: traces are consumed as
-// trace.Access values directly, exploded into exact-size per-channel
-// burst queues (counted in a pre-pass, so queues never reallocate
-// mid-fill), and every burst's bank and row are decoded exactly once
-// during the explode — via shift/mask when the geometry is a power of
-// two (always true for DDR4Like), via division otherwise — so the
-// scheduler never re-derives addresses. Within drainChannel the
-// FR-FCFS pick is found from per-bank knowledge: each bank tracks the
-// oldest in-window request targeting its open row, so the "oldest
-// ready row hit, else oldest ready, else time-jump" decision no longer
-// rescans the whole window per burst, while remaining bit-identical to
-// the window-scanning scheduler it replaced (TestFRFCFSGoldenPickOrder
-// pins the pick order). Queue buffers are recycled across runs —
-// within one simulator, or across the several simulators of a workload
-// sweep via a shared Arena. RunOverlay consumes a protection scheme's
+// The hot path is zero-copy, decode-once and queue-free: traces are
+// consumed as trace.Access values directly and exploded into exact-size
+// per-channel *span* queues — run-length-encoded stretches of bursts
+// sharing (issue, bank, row), counted in a pre-pass so the fill never
+// reallocates. Bank and row are decoded once per row span rather than
+// once per burst (the burst-interleaved mapping keeps them constant
+// for channels × burstsPerRow consecutive bursts), and the scheduler
+// expands spans lazily into a WindowSize ring, so the per-burst queue
+// the seed materialized — gigabytes of request structs on a full sweep
+// — never exists. Within drainChannel a fast path takes the window
+// head outright when it is an issued row hit on a ready bank (the
+// common case on streaming traces); otherwise the FR-FCFS pick comes
+// from per-bank knowledge: each bank tracks the oldest in-window
+// request targeting its open row, so the "oldest ready row hit, else
+// oldest ready, else time-jump" decision does not rescan the window
+// per burst. Both tiers remain bit-identical to the window-scanning
+// scheduler they replaced (TestFRFCFSGoldenPickOrder pins the pick
+// order). Span buffers are recycled across runs — within one
+// simulator, or across the several simulators of a workload sweep via
+// a shared Arena. RunOverlay consumes a protection scheme's
 // spine+overlay stream pair merged in anchor order, so the
 // scheme-independent data stream is never duplicated per scheme.
 // Channels are fully independent after the explode step, so they drain
@@ -136,6 +141,21 @@ type request struct {
 	bank  int32
 }
 
+// span is a run-length-encoded stretch of a channel's burst queue:
+// count consecutive bursts with identical (issue, bank, row). Under
+// the burst-interleaved address mapping a contiguous access keeps
+// (bank, row) constant for channels × burstsPerRow consecutive global
+// bursts, so a multi-kilobyte tensor run collapses to one span per
+// channel per row crossed instead of one queue entry per burst. The
+// scheduler expands spans into its bounded reorder window on demand —
+// the full per-burst queue is never materialized.
+type span struct {
+	issue uint64
+	row   int64
+	bank  int32
+	count int32
+}
+
 type bank struct {
 	openRow  int64 // -1 = closed
 	readyAt  uint64
@@ -155,10 +175,16 @@ type channel struct {
 	// incrementally as requests enter the window, are picked, or change
 	// the open row, so the FR-FCFS "oldest ready row hit" is found by
 	// scanning banks instead of rescanning the window.
-	hits     []int32
-	busFree  uint64 // next cycle the data bus is free
-	busy     uint64 // accumulated busy cycles
-	queue    []request
+	hits    []int32
+	busFree uint64 // next cycle the data bus is free
+	busy    uint64 // accumulated busy cycles
+	// spans is the run-length-encoded burst queue; total is the burst
+	// count it expands to. window is the scheduler's ring buffer
+	// (power-of-two capacity >= WindowSize), holding the expanded
+	// requests of queue slots [head, win) at index slot&(cap-1).
+	spans    []span
+	total    int
+	window   []request
 	nextRef  uint64
 	refCount uint64
 }
@@ -175,7 +201,8 @@ type chanResult struct {
 }
 
 // runState is the per-run scratch memory: channel structs with their
-// bank arrays and request queues, plus the per-channel fill cursors.
+// bank arrays, span queues and window rings, plus the per-channel fill
+// cursors.
 // States are recycled through Simulator.pool so steady-state RunTrace
 // calls allocate only the returned ChanCycles slice.
 type runState struct {
@@ -187,7 +214,7 @@ type runState struct {
 // Arena is a shared pool of per-run scratch states that several
 // Simulators with the same geometry can draw from. The six protection
 // schemes of one workload each build their own Simulator but run over
-// traces of comparable size; pointing them at one Arena lets a queue
+// traces of comparable size; pointing them at one Arena lets a span
 // buffer warmed by one scheme be reused by the next instead of every
 // scheme growing a private set, cutting peak RSS on wide sweeps.
 // Arena is safe for concurrent use.
@@ -298,15 +325,27 @@ func (s *Simulator) statePool() *sync.Pool {
 	return &s.pool
 }
 
+// windowCap returns the scheduler ring capacity: the smallest power of
+// two holding WindowSize requests, so ring indexing is a mask instead
+// of a modulo.
+func (s *Simulator) windowCap() int {
+	c := 1
+	for c < s.cfg.WindowSize {
+		c <<= 1
+	}
+	return c
+}
+
 // getState fetches (or builds) a runState sized for the configuration
-// and resets the parts a previous run dirtied. Queue buffers keep
+// and resets the parts a previous run dirtied. Span buffers keep
 // their capacity across runs, so per-layer traces of similar size
 // explode without reallocating.
 func (s *Simulator) getState() *runState {
 	if v := s.statePool().Get(); v != nil {
 		st := v.(*runState)
 		if len(st.chans) != s.cfg.Channels ||
-			(len(st.chans) > 0 && len(st.chans[0].banks) != s.cfg.BanksPerChan) {
+			(len(st.chans) > 0 && (len(st.chans[0].banks) != s.cfg.BanksPerChan ||
+				len(st.chans[0].window) != s.windowCap())) {
 			// Arena shared across mismatched geometries: rebuild below.
 			st = nil
 		}
@@ -319,7 +358,8 @@ func (s *Simulator) getState() *runState {
 				}
 				ch.busFree = 0
 				ch.busy = 0
-				ch.queue = ch.queue[:0]
+				ch.spans = ch.spans[:0]
+				ch.total = 0
 				ch.nextRef = s.cfg.TRefi
 				ch.refCount = 0
 				st.cursors[i] = 0
@@ -342,6 +382,7 @@ func (s *Simulator) getState() *runState {
 		}
 		st.chans[i].banks = banks
 		st.chans[i].hits = hits
+		st.chans[i].window = make([]request, s.windowCap())
 		st.chans[i].nextRef = s.cfg.TRefi
 	}
 	return st
@@ -394,10 +435,17 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 	chans := rs.chans
 	nchan := uint64(s.cfg.Channels)
 
-	// Pass 1: count bursts per channel (and the global read/write/byte
-	// totals, which depend only on burst counts). An access's bursts
-	// round-robin the channels starting at its first burst's channel,
-	// so each channel gets n/C bursts plus one of the n%C remainder.
+	// Pass 1: count span entries and bursts per channel (and the global
+	// read/write/byte totals, which depend only on burst counts). An
+	// access's bursts round-robin the channels starting at its first
+	// burst's channel, while (bank, row) stays constant across a *row
+	// span* of channels × burstsPerRow consecutive global bursts — so
+	// the queue is sized in spans, one entry per channel per row span
+	// touched, and each channel's burst total accumulates separately.
+	// The divisions below reproduce decoder.split exactly: for
+	// power-of-two geometries they are the same arithmetic the
+	// shift/mask form strength-reduces.
+	spanBursts := s.dec.channels * s.dec.burstsPerRow
 	var total int
 	iter(func(a *trace.Access) {
 		n := s.bursts(a.Bytes)
@@ -408,43 +456,109 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 		} else {
 			st.Reads += uint64(n)
 		}
-		c0 := int(s.dec.burst(a.Addr) % nchan)
-		per := n / s.cfg.Channels
-		rem := n % s.cfg.Channels
-		for c := 0; c < s.cfg.Channels; c++ {
-			extra := 0
-			if (c-c0+s.cfg.Channels)%s.cfg.Channels < rem {
-				extra = 1
+		b := s.dec.burst(a.Addr)
+		end := b + uint64(n)
+		for b < end {
+			spanEnd := (b/spanBursts + 1) * spanBursts
+			if spanEnd > end {
+				spanEnd = end
 			}
-			rs.cursors[c] += per + extra
+			count := spanEnd - b
+			if count < nchan {
+				for i := b; i < spanEnd; i++ {
+					c := i % nchan
+					rs.cursors[c]++
+					chans[c].total++
+				}
+			} else {
+				c0 := b % nchan
+				per := count / nchan
+				rem := count % nchan
+				for c := uint64(0); c < nchan; c++ {
+					k := per
+					if (c+nchan-c0)%nchan < rem {
+						k++
+					}
+					if k > 0 {
+						rs.cursors[c]++
+						chans[c].total += int(k)
+					}
+				}
+			}
+			b = spanEnd
 		}
 	})
 	if total == 0 {
 		return st
 	}
 
-	// Allocate exact-size queues (reusing pooled buffers) and reset the
-	// cursors for the fill pass.
+	// Allocate exact-size span queues (reusing pooled buffers) and
+	// reset the cursors for the fill pass.
 	for c := range chans {
 		cnt := rs.cursors[c]
-		if cap(chans[c].queue) < cnt {
-			chans[c].queue = make([]request, cnt)
+		if cap(chans[c].spans) < cnt {
+			chans[c].spans = make([]span, cnt)
 		} else {
-			chans[c].queue = chans[c].queue[:cnt]
+			chans[c].spans = chans[c].spans[:cnt]
 		}
 		rs.cursors[c] = 0
 	}
 
-	// Pass 2: fill, decoding each burst's bank and row exactly once.
-	// Queue order per channel matches the sequential explode order of
-	// the input, so scheduling is reproducible.
+	// Pass 2: fill, decoding bank and row once per row span instead of
+	// once per burst, and appending one run-length-encoded span entry
+	// per channel instead of per-burst queue slots. The expanded
+	// per-channel burst sequence — what the scheduler consumes through
+	// its ring window — is bit-identical to the per-burst explode this
+	// replaces: within a span every request is the same value, and
+	// spans (and accesses) fill in burst order.
+	//
+	// The span-partition and round-robin arithmetic below deliberately
+	// mirrors pass 1 line for line (a shared helper would put an
+	// indirect call in the hottest loop of the repo): any edit to one
+	// pass must be made to both, and a desync fails loudly — the
+	// cursors index past the counted span slice on the first trace the
+	// tests explode.
 	iter(func(a *trace.Access) {
-		n := s.bursts(a.Bytes)
-		burst0 := s.dec.burst(a.Addr)
-		for b := 0; b < n; b++ {
-			c, bk, row := s.dec.split(burst0 + uint64(b))
-			chans[c].queue[rs.cursors[c]] = request{issue: a.Cycle, row: row, bank: bk}
-			rs.cursors[c]++
+		b := s.dec.burst(a.Addr)
+		end := b + uint64(s.bursts(a.Bytes))
+		for b < end {
+			rowGlobal := b / spanBursts
+			sp := span{
+				issue: a.Cycle,
+				row:   int64(rowGlobal / s.dec.banks),
+				bank:  int32(rowGlobal % s.dec.banks),
+				count: 1,
+			}
+			spanEnd := (rowGlobal + 1) * spanBursts
+			if spanEnd > end {
+				spanEnd = end
+			}
+			count := spanEnd - b
+			if count < nchan {
+				// Short span (metadata-line accesses): one burst per
+				// channel at most.
+				for i := b; i < spanEnd; i++ {
+					c := i % nchan
+					chans[c].spans[rs.cursors[c]] = sp
+					rs.cursors[c]++
+				}
+			} else {
+				c0 := b % nchan
+				per := count / nchan
+				rem := count % nchan
+				for c := uint64(0); c < nchan; c++ {
+					k := per
+					if (c+nchan-c0)%nchan < rem {
+						k++
+					}
+					if k > 0 {
+						sp.count = int32(k)
+						chans[c].spans[rs.cursors[c]] = sp
+						rs.cursors[c]++
+					}
+				}
+			}
+			b = spanEnd
 		}
 	})
 
@@ -491,10 +605,11 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 // slot holding a request for (bank b, row). Called lazily when the
 // cached candidate goes stale — at most one bank per pick dirties its
 // cache, so the amortized cost per burst stays bounded by one cheap
-// field-compare sweep (no address decode).
-func rescanHits(q []request, head, win int, b int32, row int64) int32 {
+// field-compare sweep over the ring window (no address decode).
+func rescanHits(wq []request, mask, head, win int, b int32, row int64) int32 {
 	for i := head; i < win; i++ {
-		if q[i].bank == b && q[i].row == row {
+		r := &wq[i&mask]
+		if r.bank == b && r.row == row {
 			return int32(i)
 		}
 	}
@@ -503,30 +618,71 @@ func rescanHits(q []request, head, win int, b int32, row int64) int32 {
 
 // drainChannel schedules one channel's queue FR-FCFS and returns the
 // channel's private statistics, including the cycle at which its last
-// burst finishes. The reorder window slides over the queue: the
-// selected request is swapped to the window head and the head
-// advances, so removal is O(1). The "oldest ready row hit" pick comes
-// from per-bank knowledge (channel.hits) instead of a window rescan:
-// each bank caches the oldest in-window request targeting its open
-// row, the caches are updated as requests enter the window, get
-// picked, or flip the open row, and the winning candidate is the
-// minimum slot over the ready banks — exactly the request the
-// window-scanning scheduler used to find (the golden pick-order test
-// pins the equivalence).
+// burst finishes. The queue arrives run-length encoded (channel.spans)
+// and is expanded lazily into a small ring window of WindowSize
+// requests: slots carry absolute queue indices [head, win) and live at
+// index slot&mask, so the scheduler's state fits in the cache while
+// the per-burst queue is never materialized. The selected request is
+// swapped to the window head and the head advances, so removal is
+// O(1). Picks resolve in two tiers: a fast path takes the window head
+// outright when it is an issued row hit on a ready bank — the head is
+// the lowest slot any rule can return, so nothing can beat it — which
+// covers the long same-row streaks streaming traces are made of.
+// Otherwise the FR-FCFS "oldest ready row hit" comes from per-bank
+// knowledge (channel.hits): each bank caches the oldest in-window
+// request targeting its open row, the caches are updated as requests
+// enter the window, get picked, or flip the open row, and the winning
+// candidate is the minimum slot over the ready banks — exactly the
+// request the window-scanning scheduler used to find (the golden
+// pick-order test pins the equivalence).
 func (s *Simulator) drainChannel(ch *channel) chanResult {
 	var res chanResult
 	var now uint64
 	var lastDone uint64
-	q := ch.queue
+	spans := ch.spans
+	total := ch.total
+	wq := ch.window
+	mask := len(wq) - 1
 	hits := ch.hits
 	head := 0
+	// candMask has bit b set iff hits[b] != hitNone, so the rule-1
+	// sweep visits only banks that might contribute a candidate — on
+	// bank-latency-limited streams (one active bank, its candidate
+	// consumed by every pick) the sweep disappears entirely. Maintained
+	// at every hits transition; usable only while the bank count fits
+	// the word (always, for DDR4-like geometries).
+	useCandMask := len(ch.banks) <= 64
+	var candMask uint64
+
+	// Expansion cursor: cur is the request value of the span currently
+	// being expanded, rem its unexpanded burst count, si the index of
+	// the *next* span. Caching the expanded value keeps the slide step
+	// at one store, one decrement and one branch per burst.
+	si := 0
+	var cur request
+	rem := int32(0)
+	if len(spans) > 0 {
+		cur = request{issue: spans[0].issue, row: spans[0].row, bank: spans[0].bank}
+		rem = spans[0].count
+		si = 1
+	}
 	win := s.cfg.WindowSize
-	if win > len(q) {
-		win = len(q)
+	if win > total {
+		win = total
 	}
 	// Banks start closed (openRow -1 matches no request), so the
 	// initial window registers no candidates and hits[*] == hitNone.
-	for head < len(q) {
+	for i := 0; i < win; i++ {
+		wq[i] = cur
+		rem--
+		if rem == 0 && si < len(spans) {
+			sp := &spans[si]
+			cur = request{issue: sp.issue, row: sp.row, bank: sp.bank}
+			rem = sp.count
+			si++
+		}
+	}
+	for head < total {
 		// Refresh stall if due.
 		if s.cfg.TRefi > 0 && now >= ch.nextRef {
 			for i := range ch.banks {
@@ -536,6 +692,7 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 				}
 				hits[i] = hitNone // no open rows, so no row-hit candidates
 			}
+			candMask = 0
 			now += s.cfg.TRfc
 			ch.busy += s.cfg.TRfc
 			ch.nextRef += s.cfg.TRefi
@@ -543,51 +700,79 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			continue
 		}
 
+		// Fast path: the window head is the lowest slot any rule can
+		// return, so if it is an issued row hit on a ready bank it wins
+		// rule 1 outright — no candidate across the other banks can
+		// have a smaller slot, and rules 2/3 only apply when rule 1
+		// finds nothing. Streaming traces spend most picks here (a row
+		// span is burstsPerRow back-to-back hits on one bank), skipping
+		// the per-bank candidate sweep entirely. The cached candidates
+		// of other banks are left untouched: stale entries resolve
+		// lazily on their next use, exactly as the slow path leaves
+		// them when a bank is skipped for not being ready.
+		pick := -1
+		if h := &wq[head&mask]; h.issue <= now {
+			if bk := &ch.banks[h.bank]; bk.openRow == h.row && bk.readyAt <= now {
+				pick = head
+			}
+		}
+
 		// FR-FCFS rule 1: the oldest in-window row hit whose issue time
 		// has arrived, on a bank whose last access has completed. Each
 		// open bank contributes its cached oldest open-row request; the
 		// lowest slot across banks wins.
-		pick := -1
-		for b := range ch.banks {
-			h := hits[b]
-			if h == hitNone {
-				continue
-			}
-			bk := &ch.banks[b]
-			if bk.readyAt > now {
-				continue
-			}
-			if h == hitStale {
-				h = rescanHits(q, head, win, int32(b), bk.openRow)
-				hits[b] = h
+		if pick < 0 && (!useCandMask || candMask != 0) {
+			for b := 0; b < len(ch.banks); b++ {
+				if useCandMask {
+					// Jump to the next candidate bank.
+					m := candMask >> uint(b)
+					if m == 0 {
+						break
+					}
+					b += bits.TrailingZeros64(m)
+				}
+				h := hits[b]
 				if h == hitNone {
 					continue
 				}
-			}
-			cand := int(h)
-			if q[cand].issue > now {
-				// The oldest open-row request is not issued yet; the
-				// rule wants the oldest *issued* one, which may sit
-				// further out in the window (rare).
-				cand = -1
-				for i := int(h) + 1; i < win; i++ {
-					if q[i].bank == int32(b) && q[i].row == bk.openRow && q[i].issue <= now {
-						cand = i
-						break
-					}
-				}
-				if cand < 0 {
+				bk := &ch.banks[b]
+				if bk.readyAt > now {
 					continue
 				}
-			}
-			if pick < 0 || cand < pick {
-				pick = cand
+				if h == hitStale {
+					h = rescanHits(wq, mask, head, win, int32(b), bk.openRow)
+					hits[b] = h
+					if h == hitNone {
+						candMask &^= 1 << uint(b)
+						continue
+					}
+				}
+				cand := int(h)
+				if wq[cand&mask].issue > now {
+					// The oldest open-row request is not issued yet; the
+					// rule wants the oldest *issued* one, which may sit
+					// further out in the window (rare).
+					cand = -1
+					for i := int(h) + 1; i < win; i++ {
+						r := &wq[i&mask]
+						if r.bank == int32(b) && r.row == bk.openRow && r.issue <= now {
+							cand = i
+							break
+						}
+					}
+					if cand < 0 {
+						continue
+					}
+				}
+				if pick < 0 || cand < pick {
+					pick = cand
+				}
 			}
 		}
 		// Rule 2: the oldest ready request regardless of row state.
 		if pick < 0 {
 			for i := head; i < win; i++ {
-				if q[i].issue <= now {
+				if wq[i&mask].issue <= now {
 					pick = i
 					break
 				}
@@ -595,10 +780,10 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 		}
 		if pick < 0 {
 			// Nothing ready: jump to the earliest issue time in the window.
-			jump := q[head].issue
+			jump := wq[head&mask].issue
 			for i := head + 1; i < win; i++ {
-				if q[i].issue < jump {
-					jump = q[i].issue
+				if v := wq[i&mask].issue; v < jump {
+					jump = v
 				}
 			}
 			if jump <= now {
@@ -608,14 +793,14 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			continue
 		}
 
-		req := q[pick]
+		req := wq[pick&mask]
 		if pick != head {
 			// Swap-removal: the head request slides to the freed slot.
 			// If it was its bank's cached oldest open-row request (it
 			// must be, being the lowest slot of all), the cache no
 			// longer knows the oldest — mark it stale.
-			moved := q[head]
-			q[pick] = moved
+			moved := wq[head&mask]
+			wq[pick&mask] = moved
 			if hits[moved.bank] == int32(head) {
 				hits[moved.bank] = hitStale
 			}
@@ -641,6 +826,7 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			svc = s.cfg.TRCD + s.cfg.TCL
 			b.activeAt = start
 			hits[req.bank] = hitStale // open row changed
+			candMask |= 1 << uint(req.bank)
 		default:
 			res.rowMisses++
 			// Honor tRAS before precharging the open row.
@@ -650,17 +836,28 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 			svc = s.cfg.TRP + s.cfg.TRCD + s.cfg.TCL
 			b.activeAt = start + s.cfg.TRP
 			hits[req.bank] = hitStale // open row changed
+			candMask |= 1 << uint(req.bank)
 		}
 		b.openRow = req.row
 
-		// Slide the window: one slot enters as the head advances.
-		// Register it as its bank's candidate if it targets the (just
-		// updated) open row and the bank has none cached; a lower
-		// cached slot or a stale marker both take precedence.
-		if win < len(q) {
-			w := &q[win]
+		// Slide the window: one slot enters as the head advances,
+		// expanded from the span cursor. Register it as its bank's
+		// candidate if it targets the (just updated) open row and the
+		// bank has none cached; a lower cached slot or a stale marker
+		// both take precedence.
+		if win < total {
+			w := cur
+			rem--
+			if rem == 0 && si < len(spans) {
+				sp := &spans[si]
+				cur = request{issue: sp.issue, row: sp.row, bank: sp.bank}
+				rem = sp.count
+				si++
+			}
+			wq[win&mask] = w
 			if hits[w.bank] == hitNone && ch.banks[w.bank].openRow == w.row {
 				hits[w.bank] = int32(win)
+				candMask |= 1 << uint(w.bank)
 			}
 			win++
 		}

@@ -167,6 +167,13 @@ type Options struct {
 	// per-entry explode overhead — drops. Raw mode exists for trace
 	// dumps (seda-trace -raw) and the equivalence tests.
 	CoalesceOverlays bool
+
+	// OptBlkCache, when non-nil, memoizes SeDA's per-layer authblock
+	// searches by run-set geometry, sharing them across every
+	// evaluation in the process whose tilings coincide (server and
+	// edge NPUs of one sweep, repeated sweeps). Hits are bit-identical
+	// to fresh searches; nil keeps every search local.
+	OptBlkCache *OptBlkCache
 }
 
 // DefaultOptions returns the paper's cache configuration, with

@@ -157,8 +157,71 @@ func (c *Config) chooseTiling(l model.Layer, d dims) Tiling {
 	return t
 }
 
+// weightFetch is one filter group's precomputed DRAM fetch: absolute
+// address and size. The group plan is identical for every row tile, so
+// it is built once per layer instead of re-derived inside the tile
+// loop (tileSize + three multiplications per (tile, group) pair on
+// non-resident layers).
+type weightFetch struct {
+	addr  uint64
+	bytes uint64
+}
+
+// schedule is the per-layer scheduling plan hoisted out of the tile
+// loop: the dataflow's address strides, per-tile row activity, the
+// filter-group fetch plan, and the compute-cycle step. Everything the
+// loop needs per tile reduces to one multiply-add on these constants
+// (plus the boundary clamps for the remainder tile, which the golden
+// scheduling tests pin).
+type schedule struct {
+	perStep    uint64 // issue-cycle advance per (tile, group) step
+	ifStride   uint64 // ifmap address advance per row tile (bytes)
+	ofStride   uint64 // ofmap address advance per row tile (bytes)
+	ifRowBytes uint64
+	ofRowBytes uint64
+	fullInRows int           // input-row activity of a full (non-remainder) tile
+	haloBytes  uint64        // halo re-fetch charged per tile after the first
+	fetches    []weightFetch // per filter group, in group order
+}
+
+// buildSchedule precomputes the plan for one layer.
+func buildSchedule(d dims, til Tiling, cycles uint64, weightBase uint64) schedule {
+	totalSteps := til.RowTiles * til.Groups
+	perStep := cycles / uint64(totalSteps)
+	if perStep == 0 {
+		perStep = 1
+	}
+	sch := schedule{
+		perStep:    perStep,
+		ifStride:   uint64(til.Th*d.stride) * uint64(d.ifRowBytes),
+		ofStride:   uint64(til.Th) * uint64(d.ofRowBytes),
+		ifRowBytes: uint64(d.ifRowBytes),
+		ofRowBytes: uint64(d.ofRowBytes),
+		fullInRows: (til.Th-1)*d.stride + d.filtH,
+		fetches:    make([]weightFetch, til.Groups),
+	}
+	if d.halo > 0 {
+		halo := d.halo
+		if halo > sch.fullInRows {
+			halo = sch.fullInRows
+		}
+		sch.haloBytes = uint64(halo) * sch.ifRowBytes
+	}
+	for g := 0; g < til.Groups; g++ {
+		nt := tileSize(d.outC, til.Nt, g)
+		sch.fetches[g] = weightFetch{
+			addr:  weightBase + uint64(g*til.Nt)*uint64(d.filterBytes),
+			bytes: uint64(nt) * uint64(d.filterBytes),
+		}
+	}
+	return sch
+}
+
 // simulateLayer produces compute cycles, the tiling decision, and the
-// DRAM trace for one layer.
+// DRAM trace for one layer. The tile loop runs over the precomputed
+// schedule; its emitted trace is byte-identical to the per-tile
+// rederivation it replaced (TestScheduleGolden pins traces and stats,
+// including remainder tiles and a degenerate 1×1 array).
 func (c *Config) simulateLayer(l model.Layer, layerID int, weightBase uint64) LayerResult {
 	d := layerDims(l)
 	til := c.chooseTiling(l, d)
@@ -171,9 +234,11 @@ func (c *Config) simulateLayer(l model.Layer, layerID int, weightBase uint64) La
 		Trace:         &trace.Trace{},
 	}
 
-	// The schedule's access count is known up front: one ifmap band and
-	// one ofmap band per row tile, plus a weight fetch per filter group
-	// on the first tile (every tile when weights are not resident).
+	// The schedule's access count is known in closed form: one ifmap
+	// band and one ofmap band per row tile, plus a weight fetch per
+	// filter group on the first tile (every tile when weights are not
+	// resident) — so the trace is pre-sized exactly and appends never
+	// reallocate.
 	weightFetches := til.Groups
 	if !til.WeightResident {
 		weightFetches = til.Groups * til.RowTiles
@@ -182,32 +247,37 @@ func (c *Config) simulateLayer(l model.Layer, layerID int, weightBase uint64) La
 
 	ifBase := ifmapBase(layerID)
 	ofBase := ofmapBase(layerID)
-
-	totalSteps := til.RowTiles * til.Groups
-	perStep := cycles / uint64(totalSteps)
-	if perStep == 0 {
-		perStep = 1
-	}
+	sch := buildSchedule(d, til, cycles, weightBase)
 
 	step := 0
 	for t := 0; t < til.RowTiles; t++ {
 		tileID := uint32(t)
 		th := tileSize(d.ofH, til.Th, t)
 
-		// Ifmap band for this tile (one contiguous NHWC run).
+		// Ifmap band for this tile (one contiguous NHWC run). Full
+		// tiles use the precomputed row activity; the remainder tile
+		// (smaller th) and the input boundary clamp are the only
+		// per-tile arithmetic left.
 		{
-			cycle := uint64(step) * perStep
+			cycle := uint64(step) * sch.perStep
 			r0 := t * til.Th * d.stride
-			inRows := (th-1)*d.stride + d.filtH
+			inRows := sch.fullInRows
+			if th != til.Th {
+				inRows = (th-1)*d.stride + d.filtH
+			}
 			if r0+inRows > d.ifH {
 				inRows = d.ifH - r0
 			}
 			if t > 0 && d.halo > 0 {
-				lr.HaloBytes += uint64(minInt(d.halo, inRows)) * uint64(d.ifRowBytes)
+				hb := sch.haloBytes
+				if inRows < d.halo {
+					hb = uint64(inRows) * sch.ifRowBytes
+				}
+				lr.HaloBytes += hb
 			}
-			bytes := uint64(inRows) * uint64(d.ifRowBytes)
+			bytes := uint64(inRows) * sch.ifRowBytes
 			lr.appendAccess(trace.Access{
-				Cycle: cycle, Addr: ifBase + uint64(r0)*uint64(d.ifRowBytes),
+				Cycle: cycle, Addr: ifBase + uint64(t)*sch.ifStride,
 				Bytes: uint32(bytes), Kind: trace.Read, Class: trace.Data,
 				Tensor: trace.IFMap, Layer: uint16(layerID), Tile: tileID,
 			})
@@ -215,30 +285,29 @@ func (c *Config) simulateLayer(l model.Layer, layerID int, weightBase uint64) La
 		}
 
 		// Filter groups: weights fetched on the first tile, and again
-		// on every tile when not resident.
-		for g := 0; g < til.Groups; g++ {
-			cycle := uint64(step) * perStep
-			step++
-			if t == 0 || !til.WeightResident {
-				nt := tileSize(d.outC, til.Nt, g)
-				start := uint64(g*til.Nt) * uint64(d.filterBytes)
-				bytes := uint64(nt) * uint64(d.filterBytes)
+		// on every tile when not resident, straight from the plan.
+		if t == 0 || !til.WeightResident {
+			for g := 0; g < til.Groups; g++ {
+				cycle := uint64(step) * sch.perStep
+				step++
+				f := &sch.fetches[g]
 				lr.appendAccess(trace.Access{
-					Cycle: cycle, Addr: weightBase + start,
-					Bytes: uint32(bytes), Kind: trace.Read, Class: trace.Data,
+					Cycle: cycle, Addr: f.addr,
+					Bytes: uint32(f.bytes), Kind: trace.Read, Class: trace.Data,
 					Tensor: trace.Weights, Layer: uint16(layerID), Tile: tileID,
 				})
-				lr.WeightBytes += bytes
+				lr.WeightBytes += f.bytes
 			}
+		} else {
+			step += til.Groups
 		}
 
 		// Full-channel output band written once per tile.
 		{
-			cycle := uint64(step) * perStep
-			r0 := t * til.Th
-			bytes := uint64(th) * uint64(d.ofRowBytes)
+			cycle := uint64(step) * sch.perStep
+			bytes := uint64(th) * sch.ofRowBytes
 			lr.appendAccess(trace.Access{
-				Cycle: cycle, Addr: ofBase + uint64(r0)*uint64(d.ofRowBytes),
+				Cycle: cycle, Addr: ofBase + uint64(t)*sch.ofStride,
 				Bytes: uint32(bytes), Kind: trace.Write, Class: trace.Data,
 				Tensor: trace.OFMap, Layer: uint16(layerID), Tile: tileID,
 			})
@@ -276,13 +345,6 @@ func clamp(v, lo, hi int) int {
 		return hi
 	}
 	return v
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func maxInt(a, b int) int {

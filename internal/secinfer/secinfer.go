@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/authblock"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/nnexec"
+	"repro/internal/scalesim"
 )
 
 // Address-space layout inside the untrusted memory: activations
@@ -73,6 +75,68 @@ func New(net *model.Network, encKey, macKey []byte, seed int64, optBlk int) (*Pi
 // Unit exposes the protection unit (attack simulations corrupt its
 // memory).
 func (p *Pipeline) Unit() *core.Unit { return p.unit }
+
+// Reference geometry SearchedOptBlk simulates the network on: the
+// paper's edge NPU (32×32 PEs, 480 KB SRAM; Table II), the platform
+// the functional model stands in for. Exported so the seda package —
+// which owns the authoritative NPU configs and cannot be imported
+// from here without inverting the layering — can assert these mirror
+// seda.EdgeNPU and fail loudly if that config is ever retuned
+// (TestSecinferSearchGeometryMatchesEdgeNPU).
+const (
+	SearchArrayDim  = 32
+	SearchSRAMBytes = 480 * 1024
+)
+
+// SearchedOptBlk derives a protection-block granularity for the
+// functional pipeline from the timing-level machinery: it schedules
+// the network on the reference edge geometry, summarizes every layer's
+// access runs with a single spine walk (authblock.CollectLayer), and
+// searches each tensor's optBlk. The functional model uses one block
+// for all tensors, so it returns the smallest searched block — every
+// layer's chosen granularity is a multiple of it or at worst equally
+// fine, and any positive block is functionally valid (the protection
+// unit is granularity-agnostic; the search only shifts traffic).
+func SearchedOptBlk(net *model.Network) (int, error) {
+	cfg, err := scalesim.New(SearchArrayDim, SearchArrayDim, SearchSRAMBytes)
+	if err != nil {
+		return 0, err
+	}
+	sim, err := cfg.SimulateNetwork(net)
+	if err != nil {
+		return 0, err
+	}
+	best := authblock.MaxBlock
+	found := false
+	w := authblock.OnChipMACWeights()
+	for i := range sim.Layers {
+		runs := authblock.CollectLayer(sim.Layers[i].Trace)
+		for _, rs := range []*authblock.RunSet{&runs.IFMap, &runs.Weights, &runs.OFMap} {
+			if rs.Empty() {
+				continue
+			}
+			found = true
+			if b := rs.SearchWeighted(w).Best.Block; b < best {
+				best = b
+			}
+		}
+	}
+	if !found {
+		return authblock.MinBlock, nil
+	}
+	return best, nil
+}
+
+// NewSearched builds a pipeline like New, with the protection-block
+// granularity chosen by the authblock search over the network's own
+// schedule instead of supplied by the caller.
+func NewSearched(net *model.Network, encKey, macKey []byte, seed int64) (*Pipeline, error) {
+	optBlk, err := SearchedOptBlk(net)
+	if err != nil {
+		return nil, err
+	}
+	return New(net, encKey, macKey, seed, optBlk)
+}
 
 // Provision writes every layer's weights into untrusted memory
 // encrypted, and seals them all under the on-chip model MAC.

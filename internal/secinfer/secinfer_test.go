@@ -5,9 +5,15 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/authblock"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/nnexec"
+)
+
+const (
+	authblockMin = authblock.MinBlock
+	authblockMax = authblock.MaxBlock
 )
 
 var (
@@ -226,4 +232,58 @@ func asIntegrityError(err error, target **core.IntegrityError) bool {
 		err = u.Unwrap()
 	}
 	return false
+}
+
+// TestSearchedOptBlkPipeline wires the timing-level authblock search
+// into the functional model: the searched granularity must be a
+// positive block in the engine's supported range, and a pipeline built
+// on it must stay bit-exact with the unprotected reference and still
+// detect tampering.
+func TestSearchedOptBlkPipeline(t *testing.T) {
+	net := tinyNet()
+	blk, err := SearchedOptBlk(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blk < authblockMin || blk > authblockMax {
+		t.Fatalf("searched optBlk %d outside [%d, %d]", blk, authblockMin, authblockMax)
+	}
+	p, err := NewSearched(net, encKey, macKey, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.optBlk != blk {
+		t.Fatalf("NewSearched used block %d, want %d", p.optBlk, blk)
+	}
+	if err := p.Provision(); err != nil {
+		t.Fatal(err)
+	}
+	prot, err := p.Infer(tinyInput(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := p.ReferenceInfer(tinyInput(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prot.Data, ref.Data) {
+		t.Fatal("searched-optBlk protected inference diverged from reference")
+	}
+}
+
+// TestSearchedOptBlkStable: the search is a pure function of the
+// network, so repeated calls must agree (it feeds provisioning, where
+// a drifting granularity would break seal verification).
+func TestSearchedOptBlkStable(t *testing.T) {
+	a, err := SearchedOptBlk(model.LeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SearchedOptBlk(model.LeNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a <= 0 {
+		t.Fatalf("unstable searched optBlk: %d vs %d", a, b)
+	}
 }

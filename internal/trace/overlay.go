@@ -47,17 +47,22 @@ const CoalesceQuantum = 64
 // combined entry is indistinguishable from the pair at the DRAM layer:
 // same anchor (no spine access lands between them), same issue cycle,
 // kind, class and tags (so attribution and dumps keep their meaning),
-// the previous entry covering whole 64-byte units, and this access
-// starting exactly where the previous one ends. Under those conditions
-// the burst explode of the merged entry is bit-identical to the
-// uncoalesced stream — see the coalescing invariant in DESIGN.md —
-// while metadata-heavy schemes emit several-fold fewer entries (an SGX
-// multi-line MAC or VN fill run collapses into one entry).
+// the previous entry covering a non-zero whole number of 64-byte
+// units, this access being non-empty and starting exactly where the
+// previous one ends. Under those conditions the burst explode of the
+// merged entry is bit-identical to the uncoalesced stream — see the
+// coalescing invariant in DESIGN.md — while metadata-heavy schemes
+// emit several-fold fewer entries (an SGX multi-line MAC or VN fill
+// run collapses into one entry). Zero-byte accesses always refuse the
+// merge: the DRAM model explodes an empty access into one burst, so
+// absorbing it (or growing an empty entry) would change the stream —
+// FuzzOverlayAppendCoalesce exercises exactly this corner.
 func (o *Overlay) AppendCoalesce(anchor int, a Access) {
 	if n := len(o.Accesses); n > 0 && int(o.Anchors[n-1]) == anchor {
 		p := &o.Accesses[n-1]
 		if p.Cycle == a.Cycle && p.Kind == a.Kind && p.Class == a.Class &&
 			p.Tensor == a.Tensor && p.Layer == a.Layer && p.Tile == a.Tile &&
+			p.Bytes != 0 && a.Bytes != 0 &&
 			p.Bytes%CoalesceQuantum == 0 && p.Addr+uint64(p.Bytes) == a.Addr {
 			p.Bytes += a.Bytes
 			return

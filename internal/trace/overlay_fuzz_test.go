@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzBurst is one exploded DRAM burst: what the timing model sees.
+// Replicates the dram package's explode rule for 64-byte bursts: an
+// access of n bytes occupies max(1, ceil(n/64)) bursts starting at
+// addr/64, each carrying the access's issue cycle and direction.
+type fuzzBurst struct {
+	cycle uint64
+	burst uint64
+	kind  Kind
+}
+
+func explodeMerged(spine *Trace, ov *Overlay) []fuzzBurst {
+	var out []fuzzBurst
+	ForEachMerged(spine, ov, func(a *Access) {
+		n := (uint64(a.Bytes) + 63) / 64
+		if n == 0 {
+			n = 1
+		}
+		b0 := a.Addr / 64
+		for k := uint64(0); k < n; k++ {
+			out = append(out, fuzzBurst{cycle: a.Cycle, burst: b0 + k, kind: a.Kind})
+		}
+	})
+	return out
+}
+
+// FuzzOverlayAppendCoalesce feeds adversarial emission sequences —
+// contiguous, gapped, tag-flipping, zero-byte, quantum-misaligned —
+// through Append and AppendCoalesce side by side and asserts the
+// coalescing invariant: whether each emission merged or was refused,
+// the exploded burst stream of the merged overlay is identical to the
+// raw one. This is the property that makes Options.CoalesceOverlays
+// figure-invariant (DESIGN.md), extended beyond the emitters' actual
+// patterns to anything an emitter could ever send.
+func FuzzOverlayAppendCoalesce(f *testing.F) {
+	// Seeds: a contiguous run that merges, a refusal chain (misaligned
+	// quantum), and a zero-byte entry.
+	f.Add([]byte{
+		0, 1, 0, 0, 1, 0, 0, // absolute placement, 64B
+		1, 1, 0, 0, 1, 0, 0, // contiguous continuation, 64B -> merges
+		1, 1, 0, 0, 0, 200, 0, // contiguous, 200B (breaks the quantum)
+		1, 1, 0, 0, 1, 0, 0, // contiguous after misaligned: refused
+		0, 2, 16, 0, 0, 0, 0, // zero-byte emission
+	})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const rec = 7
+		spine := &Trace{}
+		for i := 0; i < 4; i++ {
+			spine.Append(Access{
+				Cycle: uint64(i * 10), Addr: uint64(0x1000 + 256*i), Bytes: 128,
+				Kind: Read, Class: Data, Tensor: IFMap, Layer: 1, Tile: uint32(i),
+			})
+		}
+		raw := &Overlay{}
+		merged := &Overlay{}
+		anchor := 0
+		var prevEnd uint64
+		n := len(data) / rec
+		if n > 128 {
+			n = 128
+		}
+		for i := 0; i < n; i++ {
+			r := data[i*rec : (i+1)*rec]
+			anchor += int(r[0]) % 2 // nondecreasing, clamped to spine
+			if anchor > spine.Len() {
+				anchor = spine.Len()
+			}
+			bytes := uint32(binary.LittleEndian.Uint16(r[4:6]))
+			var addr uint64
+			if r[0]&0x80 != 0 {
+				addr = prevEnd // contiguous continuation: merge bait
+			} else {
+				addr = uint64(binary.LittleEndian.Uint16(r[2:4])) * 8
+			}
+			a := Access{
+				Cycle:  uint64(r[1] % 4),
+				Addr:   addr,
+				Bytes:  bytes,
+				Kind:   Kind(r[6] & 1),
+				Class:  Class((r[6] >> 1) % uint8(numClasses)),
+				Tensor: Metadata,
+				Layer:  uint16(r[6] >> 5),
+				Tile:   uint32(r[6] >> 6),
+			}
+			prevEnd = addr + uint64(bytes)
+			raw.Append(anchor, a)
+			merged.AppendCoalesce(anchor, a)
+		}
+		if merged.Len() > raw.Len() {
+			t.Fatalf("coalesced overlay grew: %d > %d entries", merged.Len(), raw.Len())
+		}
+		got := explodeMerged(spine, merged)
+		want := explodeMerged(spine, raw)
+		if len(got) != len(want) {
+			t.Fatalf("burst stream length changed: %d != %d (raw %d entries, merged %d)",
+				len(got), len(want), raw.Len(), merged.Len())
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("burst %d diverged: %+v != %+v", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -16,13 +16,23 @@ import (
 // can be released as soon as the DRAM phase has consumed them.
 var protArena = memprot.NewArena()
 
-// dramArena shares DRAM scratch state (per-channel burst queues, bank
-// arrays) across every simulator in the process: the six schemes of a
-// workload and all workloads of a sweep draw from one pool, so after
-// the first workload the queues are grown once and only refilled. The
-// geometry check in dram.Arena keeps the sharing safe if NPUs with
-// different channel counts are ever mixed in one process.
+// dramArena shares DRAM scratch state (per-channel span queues, bank
+// arrays, window rings) across every simulator in the process: the six
+// schemes of a workload and all workloads of a sweep draw from one
+// pool, so after the first workload the buffers are grown once and
+// only refilled. The geometry check in dram.Arena keeps the sharing
+// safe if NPUs with different channel counts are ever mixed in one
+// process.
 var dramArena = dram.NewArena()
+
+// optBlkCache shares SeDA's per-layer authblock searches across every
+// evaluation in the process, keyed by run-set geometry: the server and
+// edge NPU sweeps of one seda-sweep or seda-serve process reuse one
+// search wherever their layer tilings coincide, and repeated
+// evaluations of the same NPU hit outright. Cached results are
+// bit-identical to fresh searches, so output never depends on cache
+// state.
+var optBlkCache = memprot.NewOptBlkCache()
 
 // RunResult is one (NPU, network, scheme) evaluation.
 type RunResult struct {
@@ -87,7 +97,9 @@ func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]Run
 	// grew, so the protection phase allocates almost nothing in steady
 	// state.
 	schemes := Schemes()
-	prots, err := memprot.ProtectAllArena(schemes, sim, memprot.DefaultOptions(), protArena)
+	popts := memprot.DefaultOptions()
+	popts.OptBlkCache = optBlkCache
+	prots, err := memprot.ProtectAllArena(schemes, sim, popts, protArena)
 	if err != nil {
 		return nil, err
 	}

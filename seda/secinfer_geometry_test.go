@@ -1,0 +1,23 @@
+package seda
+
+import (
+	"testing"
+
+	"repro/internal/secinfer"
+)
+
+// TestSecinferSearchGeometryMatchesEdgeNPU pins secinfer's reference
+// search geometry to the authoritative edge NPU config: secinfer
+// cannot import this package (layering), so it mirrors the Table II
+// numbers as constants — if EdgeNPU is ever retuned, this fails
+// instead of SearchedOptBlk silently simulating a stale platform.
+func TestSecinferSearchGeometryMatchesEdgeNPU(t *testing.T) {
+	npu := EdgeNPU()
+	if npu.ArrayRows != secinfer.SearchArrayDim || npu.ArrayCols != secinfer.SearchArrayDim {
+		t.Errorf("secinfer search array %dx%d != EdgeNPU %dx%d",
+			secinfer.SearchArrayDim, secinfer.SearchArrayDim, npu.ArrayRows, npu.ArrayCols)
+	}
+	if npu.SRAMBytes != secinfer.SearchSRAMBytes {
+		t.Errorf("secinfer search SRAM %d != EdgeNPU %d", secinfer.SearchSRAMBytes, npu.SRAMBytes)
+	}
+}
