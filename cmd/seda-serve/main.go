@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/rescache"
 	"repro/seda"
 )
@@ -50,8 +51,17 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "full-request read timeout")
 	writeTimeout := flag.Duration("write-timeout", 3*time.Minute, "response write timeout (must cover a cold full-suite evaluation)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle timeout")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request evaluation deadline; expiry answers 504 (0 = none, bounded by -write-timeout)")
+	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline in the result cache; a stuck evaluation frees its slot at expiry (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	flag.Parse()
+
+	// Chaos-test fault sites arm from the environment, e.g.
+	// SEDA_FAILPOINTS='rescache.compute=sleep(30s)'. Unset means every
+	// site stays a no-op.
+	if err := failpoint.LoadEnv(); err != nil {
+		fatal(err)
+	}
 
 	opts := seda.DefaultSuiteOptions()
 	opts.Workers = *workers
@@ -64,6 +74,7 @@ func main() {
 		MaxEntries:          *memEntries,
 		Dir:                 dir,
 		MaxInflightComputes: *maxInflight,
+		ComputeTimeout:      *computeTimeout,
 	})
 	if err != nil {
 		fatal(err)
@@ -85,7 +96,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "seda-serve: listening on http://%s\n", bound)
 
 	srv := &http.Server{
-		Handler:           newServer(cache, opts).handler(),
+		Handler:           newServer(cache, opts, *requestTimeout).handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

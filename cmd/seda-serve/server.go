@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -10,27 +11,37 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/memprot"
 	"repro/internal/model"
 	"repro/internal/rescache"
 	"repro/seda"
 )
 
+// FailpointSweep fires at the top of the sweep handler with the
+// request context, after parameter validation and the ETag
+// short-circuit — the last point before the evaluation pipeline. See
+// internal/failpoint.
+const FailpointSweep = "serve.sweep"
+
 // server wires the HTTP surface to the cached evaluation pipeline. All
 // state is read-only after construction except the cache (internally
-// synchronized) and the request counter, so one server instance safely
-// handles concurrent requests; identical concurrent sweeps coalesce
-// onto one pipeline evaluation inside the cache's singleflight layer,
-// and distinct ones beyond the cache's bounded compute capacity are
-// shed with 503 (rescache.ErrSaturated).
+// synchronized) and the request/panic counters, so one server instance
+// safely handles concurrent requests; identical concurrent sweeps
+// coalesce onto one pipeline evaluation inside the cache's singleflight
+// layer, and distinct ones beyond the cache's bounded compute capacity
+// are shed with 503 (rescache.ErrSaturated).
 type server struct {
-	cache *rescache.Cache
-	opts  seda.SuiteOptions
-	reqs  atomic.Uint64
+	cache      *rescache.Cache
+	opts       seda.SuiteOptions
+	reqTimeout time.Duration // per-request deadline; 0 = none
+	reqs       atomic.Uint64
+	panics     atomic.Uint64 // handler panics recovered by the middleware
 }
 
-func newServer(cache *rescache.Cache, opts seda.SuiteOptions) *server {
+func newServer(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Duration) *server {
 	// One sweep fans its workloads over a worker pool, and every
 	// uncached workload's evaluation takes one of the cache's bounded
 	// compute slots. Clamp the pool to the slot count so a single cold
@@ -42,7 +53,7 @@ func newServer(cache *rescache.Cache, opts seda.SuiteOptions) *server {
 			opts.Workers = slots
 		}
 	}
-	return &server{cache: cache, opts: opts}
+	return &server{cache: cache, opts: opts, reqTimeout: reqTimeout}
 }
 
 func (s *server) handler() http.Handler {
@@ -55,14 +66,36 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// get counts the request and restricts the route to GET/HEAD.
+// get is the per-route middleware: it counts the request, restricts
+// the route to GET/HEAD, bounds it with the server's request deadline
+// (the handler sees the deadline on r.Context(), which also cancels
+// when the client disconnects), and converts handler panics into a 500
+// — counted in seda_panics_total — so one poisoned request cannot take
+// the server down. http.ErrAbortHandler is re-panicked: it is
+// net/http's own "abort this response" signal, not a defect.
 func (s *server) get(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel identity, per net/http docs
+					panic(rec)
+				}
+				s.panics.Add(1)
+				// Best-effort: if the handler already wrote, this is a
+				// no-op on the status line but still ends the response.
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
+		}
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
 		}
 		h(w, r)
 	}
@@ -84,12 +117,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, m := range []metric{
 		{"seda_http_requests_total", "counter", "HTTP requests received", s.reqs.Load()},
+		{"seda_panics_total", "counter", "panics recovered (handler middleware + cache computations)", s.panics.Load() + st.Panics},
 		{"seda_cache_shed_total", "counter", "sweep evaluations shed at the bounded compute capacity", st.Shed},
 		{"seda_cache_hits_total", "counter", "sweep lookups served from the in-memory cache", st.Hits},
 		{"seda_cache_disk_hits_total", "counter", "sweep lookups served from the disk cache", st.DiskHits},
 		{"seda_cache_coalesced_total", "counter", "sweep lookups coalesced onto an in-flight evaluation", st.Coalesced},
 		{"seda_cache_misses_total", "counter", "sweep lookups that ran a fresh pipeline evaluation", st.Computes},
 		{"seda_cache_errors_total", "counter", "pipeline evaluations that failed", st.Errors},
+		{"seda_cache_disk_errors_total", "counter", "disk cache IO failures and integrity-check rejections (reads + writes)", st.DiskReadErrors + st.DiskWriteErrors},
 		{"seda_cache_entries", "gauge", "entries resident in the in-memory cache", uint64(st.Entries)},
 		{"seda_cache_inflight", "gauge", "pipeline evaluations currently executing", uint64(st.Inflight)},
 	} {
@@ -232,19 +267,13 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	suite, err := seda.RunSuiteCached(s.cache, npu, nets, s.opts)
+	if err := failpoint.Inject(r.Context(), FailpointSweep); err != nil {
+		s.sweepError(w, r, err)
+		return
+	}
+	suite, err := seda.RunSuiteCachedCtx(r.Context(), s.cache, npu, nets, s.opts)
 	if err != nil {
-		if errors.Is(err, rescache.ErrSaturated) {
-			// The cache's bounded compute capacity is fully occupied
-			// by other evaluations (hits and coalesced identical
-			// requests never consume a slot). Shed instead of queueing;
-			// whatever this sweep did manage to evaluate is cached, so
-			// a retry makes progress.
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "evaluation capacity saturated, retry shortly", http.StatusServiceUnavailable)
-			return
-		}
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.sweepError(w, r, err)
 		return
 	}
 
@@ -262,6 +291,33 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	default:
 		writeFigJSON(w, suite, figName)
+	}
+}
+
+// sweepError maps an evaluation failure to its HTTP shape:
+//
+//   - rescache.ErrSaturated → 503 + Retry-After: the bounded compute
+//     capacity is fully occupied by other evaluations (hits and
+//     coalesced identical requests never consume a slot). Shed instead
+//     of queueing; whatever this sweep did manage to evaluate is
+//     cached, so a retry makes progress.
+//   - context.DeadlineExceeded → 504: the request deadline
+//     (-request-timeout) or a compute deadline expired mid-evaluation.
+//   - context.Canceled → nothing: the client disconnected (r.Context()
+//     cancelled), so there is no one to answer; the evaluation has
+//     already detached and freed its slot.
+//   - anything else → 500.
+func (s *server) sweepError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, rescache.ErrSaturated):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "evaluation capacity saturated, retry shortly", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "evaluation deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// Client gone; no response to write.
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -24,7 +24,7 @@ func testHandler(t *testing.T) (http.Handler, *rescache.Cache) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(cache, seda.DefaultSuiteOptions()).handler(), cache
+	return newServer(cache, seda.DefaultSuiteOptions(), 0).handler(), cache
 }
 
 func doReq(t *testing.T, h http.Handler, url string, hdr map[string]string) *httptest.ResponseRecorder {
@@ -316,7 +316,7 @@ func TestServerOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(cache, seda.DefaultSuiteOptions()).handler())
+	srv := httptest.NewServer(newServer(cache, seda.DefaultSuiteOptions(), 0).handler())
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -413,7 +413,7 @@ func TestSweepShedsWhenSaturated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(cache, seda.DefaultSuiteOptions()).handler()
+	h := newServer(cache, seda.DefaultSuiteOptions(), 0).handler()
 
 	held := make(chan struct{})
 	begun := make(chan struct{})
@@ -462,7 +462,7 @@ func TestColdSweepDoesNotSelfShed(t *testing.T) {
 	}
 	opts := seda.DefaultSuiteOptions()
 	opts.Workers = 8 // deliberately above the single compute slot
-	h := newServer(cache, opts).handler()
+	h := newServer(cache, opts, 0).handler()
 
 	rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=let,ncf", nil)
 	if rec.Code != http.StatusOK {

@@ -4,10 +4,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/core"
@@ -50,8 +54,16 @@ func main() {
 	if *seq {
 		opts = seda.SequentialOptions()
 	}
-	rows, err := seda.RunNetworkOpts(npu, net, opts)
+	// Ctrl-C cancels the evaluation cooperatively instead of letting it
+	// run to completion; a second signal kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rows, err := seda.RunNetworkOptsCtx(ctx, npu, net, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "seda-sim: interrupted")
+			os.Exit(130) // conventional 128+SIGINT
+		}
 		fmt.Fprintln(os.Stderr, "seda-sim:", err)
 		os.Exit(1)
 	}

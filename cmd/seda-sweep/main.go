@@ -5,10 +5,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/memprot"
@@ -71,15 +75,22 @@ func main() {
 	needServer := *fig == "all" || *fig == "5a" || *fig == "6a" || *fig == "1d"
 	needEdge := *fig == "all" || *fig == "5b" || *fig == "6b"
 
+	// Ctrl-C cancels the in-flight evaluation cooperatively (the
+	// pipeline observes ctx down to the DRAM drain loops) instead of
+	// letting a multi-second sweep run to completion; a second signal
+	// falls back to the default handler and kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var srv, edg *seda.SuiteResult
 	var err error
 	if needServer {
-		if srv, err = seda.RunSuiteCached(cache, server, model.All(), opts); err != nil {
+		if srv, err = seda.RunSuiteCachedCtx(ctx, cache, server, model.All(), opts); err != nil {
 			fatal(err)
 		}
 	}
 	if needEdge {
-		if edg, err = seda.RunSuiteCached(cache, edge, model.All(), opts); err != nil {
+		if edg, err = seda.RunSuiteCachedCtx(ctx, cache, edge, model.All(), opts); err != nil {
 			fatal(err)
 		}
 	}
@@ -187,6 +198,10 @@ func fatal(err error) {
 	if profileFile != nil {
 		pprof.StopCPUProfile()
 		profileFile.Close() //nolint:errcheck
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "seda-sweep: interrupted")
+		os.Exit(130) // conventional 128+SIGINT
 	}
 	fmt.Fprintln(os.Stderr, "seda-sweep:", err)
 	os.Exit(1)

@@ -41,6 +41,7 @@
 package dram
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -168,6 +169,13 @@ const (
 	hitStale int32 = -2 // candidate unknown; rescan the window on next use
 )
 
+// pollCycles is the simulated-cycle interval between cancellation
+// polls in drainChannel. Picks advance the clock by at least TBurst,
+// so 4M cycles bounds the poll gap at ~1–2M picks — sub-millisecond
+// wall time — while keeping the poll off the per-pick path entirely
+// (it shares the refresh check's compare; see drainChannel).
+const pollCycles = 1 << 22
+
 type channel struct {
 	banks []bank
 	// hits[b] is the lowest in-window queue slot holding a request for
@@ -198,6 +206,7 @@ type chanResult struct {
 	busy      uint64
 	refreshes uint64
 	done      uint64 // cycle the channel's last burst finishes
+	aborted   bool   // drain stopped early on context cancellation
 }
 
 // runState is the per-run scratch memory: channel structs with their
@@ -408,7 +417,17 @@ func (s *Simulator) RunTrace(t *trace.Trace) Stats { return s.RunAccesses(t.Acce
 // within the window, else oldest). Channels drain concurrently unless
 // SetSequentialDrain was called; statistics merge deterministically.
 func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
-	return s.run(func(yield func(*trace.Access)) {
+	st, _ := s.RunAccessesCtx(context.Background(), accesses)
+	return st
+}
+
+// RunAccessesCtx is RunAccesses under a context: the drain loops check
+// ctx cooperatively (every few thousand scheduler picks, between
+// explode passes) and abandon the run, returning ctx.Err(), once it is
+// cancelled. A cancelled run's Stats are meaningless and must not be
+// used.
+func (s *Simulator) RunAccessesCtx(ctx context.Context, accesses []trace.Access) (Stats, error) {
+	return s.run(ctx, func(yield func(*trace.Access)) {
 		for i := range accesses {
 			yield(&accesses[i])
 		}
@@ -421,19 +440,31 @@ func (s *Simulator) RunAccesses(accesses []trace.Access) Stats {
 // place. Stats are bit-identical to RunTrace over the materialized
 // merge (see TestRunOverlayMatchesMaterialized).
 func (s *Simulator) RunOverlay(spine *trace.Trace, deltas *trace.Overlay) Stats {
-	return s.run(func(yield func(*trace.Access)) {
+	st, _ := s.RunOverlayCtx(context.Background(), spine, deltas)
+	return st
+}
+
+// RunOverlayCtx is RunOverlay under a context, with the cooperative
+// cancellation behavior of RunAccessesCtx.
+func (s *Simulator) RunOverlayCtx(ctx context.Context, spine *trace.Trace, deltas *trace.Overlay) (Stats, error) {
+	return s.run(ctx, func(yield func(*trace.Access)) {
 		trace.ForEachMerged(spine, deltas, yield)
 	})
 }
 
 // run drains whatever access stream iter yields (twice: a counting
-// pass and a fill pass — iter must replay identically).
-func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
+// pass and a fill pass — iter must replay identically). Cancellation
+// is checked between the explode passes and periodically inside each
+// channel drain; an uncancellable context (Done() == nil, e.g.
+// context.Background) adds no work to the hot loop beyond one nil
+// compare per check.
+func (s *Simulator) run(ctx context.Context, iter func(yield func(*trace.Access))) (Stats, error) {
 	st := Stats{ChanCycles: make([]uint64, s.cfg.Channels)}
 	rs := s.getState()
 	defer s.statePool().Put(rs)
 	chans := rs.chans
 	nchan := uint64(s.cfg.Channels)
+	done := ctx.Done()
 
 	// Pass 1: count span entries and bursts per channel (and the global
 	// read/write/byte totals, which depend only on burst counts). An
@@ -489,7 +520,12 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 		}
 	})
 	if total == 0 {
-		return st
+		return st, ctx.Err()
+	}
+	if done != nil {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
+		}
 	}
 
 	// Allocate exact-size span queues (reusing pooled buffers) and
@@ -564,10 +600,14 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 
 	// Drain. Channels share no state after the explode, so they can
 	// run on parallel goroutines; each accumulates into its own
-	// chanResult slot.
+	// chanResult slot. Every channel observes the same done channel, so
+	// a cancellation stops all of them within one check interval.
 	if s.sequential || s.cfg.Channels == 1 {
 		for ci := range chans {
-			rs.results[ci] = s.drainChannel(&chans[ci])
+			rs.results[ci] = s.drainChannel(&chans[ci], done)
+			if rs.results[ci].aborted {
+				break
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -575,7 +615,7 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 			wg.Add(1)
 			go func(ci int) {
 				defer wg.Done()
-				rs.results[ci] = s.drainChannel(&chans[ci])
+				rs.results[ci] = s.drainChannel(&chans[ci], done)
 			}(ci)
 		}
 		wg.Wait()
@@ -586,6 +626,9 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 	// bit-identical to what a sequential drain produces.
 	for ci := range chans {
 		r := &rs.results[ci]
+		if r.aborted {
+			return Stats{}, ctx.Err()
+		}
 		st.ChanCycles[ci] = r.busy
 		if r.busy > st.MaxChanBusy {
 			st.MaxChanBusy = r.busy
@@ -598,7 +641,7 @@ func (s *Simulator) run(iter func(yield func(*trace.Access))) Stats {
 		st.RowEmpty += r.rowEmpty
 		st.Refreshes += r.refreshes
 	}
-	return st
+	return st, nil
 }
 
 // rescanHits recomputes a bank's open-row candidate: the lowest window
@@ -635,7 +678,15 @@ func rescanHits(wq []request, mask, head, win int, b int32, row int64) int32 {
 // candidate is the minimum slot over the ready banks — exactly the
 // request the window-scanning scheduler used to find (the golden
 // pick-order test pins the equivalence).
-func (s *Simulator) drainChannel(ch *channel) chanResult {
+//
+// done, when non-nil, is the run context's cancellation channel. The
+// poll rides the refresh compare the loop already pays: nextPause is
+// the earlier of the next refresh and the next poll cycle, so the hot
+// path keeps its single uint64 compare per pick and a cancellation is
+// noticed within pollCycles of simulated time (sub-millisecond wall
+// time). A nil done leaves nextPoll at maxUint64 and the loop is
+// instruction-identical to the uncancellable version.
+func (s *Simulator) drainChannel(ch *channel, done <-chan struct{}) chanResult {
 	var res chanResult
 	var now uint64
 	var lastDone uint64
@@ -670,6 +721,19 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 	if win > total {
 		win = total
 	}
+	// Pause schedule: the loop stops for a refresh every TRefi cycles
+	// and (when cancellable) for a done poll every pollCycles; both
+	// funnel through one threshold so the common iteration pays exactly
+	// the compare the refresh check always cost.
+	const noPause = ^uint64(0)
+	nextRef, nextPoll := noPause, noPause
+	if s.cfg.TRefi > 0 {
+		nextRef = ch.nextRef
+	}
+	if done != nil {
+		nextPoll = pollCycles
+	}
+	nextPause := min(nextRef, nextPoll)
 	// Banks start closed (openRow -1 matches no request), so the
 	// initial window registers no candidates and hits[*] == hitNone.
 	for i := 0; i < win; i++ {
@@ -683,21 +747,35 @@ func (s *Simulator) drainChannel(ch *channel) chanResult {
 		}
 	}
 	for head < total {
-		// Refresh stall if due.
-		if s.cfg.TRefi > 0 && now >= ch.nextRef {
-			for i := range ch.banks {
-				ch.banks[i].openRow = -1
-				if ch.banks[i].readyAt < now+s.cfg.TRfc {
-					ch.banks[i].readyAt = now + s.cfg.TRfc
+		if now >= nextPause {
+			if now >= nextPoll {
+				select {
+				case <-done:
+					res.aborted = true
+					return res
+				default:
 				}
-				hits[i] = hitNone // no open rows, so no row-hit candidates
+				nextPoll = now + pollCycles
 			}
-			candMask = 0
-			now += s.cfg.TRfc
-			ch.busy += s.cfg.TRfc
-			ch.nextRef += s.cfg.TRefi
-			ch.refCount++
-			continue
+			// Refresh stall if due.
+			if now >= nextRef {
+				for i := range ch.banks {
+					ch.banks[i].openRow = -1
+					if ch.banks[i].readyAt < now+s.cfg.TRfc {
+						ch.banks[i].readyAt = now + s.cfg.TRfc
+					}
+					hits[i] = hitNone // no open rows, so no row-hit candidates
+				}
+				candMask = 0
+				now += s.cfg.TRfc
+				ch.busy += s.cfg.TRfc
+				ch.nextRef += s.cfg.TRefi
+				ch.refCount++
+				nextRef = ch.nextRef
+				nextPause = min(nextRef, nextPoll)
+				continue
+			}
+			nextPause = min(nextRef, nextPoll)
 		}
 
 		// Fast path: the window head is the lowest slot any rule can

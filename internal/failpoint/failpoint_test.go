@@ -1,0 +1,186 @@
+package failpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	defer Reset()
+	if err := Inject(context.Background(), "nope"); err != nil {
+		t.Fatalf("disarmed inject: %v", err)
+	}
+	if Active("nope") {
+		t.Fatal("unarmed point reports active")
+	}
+	// Arming one point must not fire others.
+	if err := Enable("a", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(context.Background(), "b"); err != nil {
+		t.Fatalf("other point fired: %v", err)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject(nil, "p")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := Enable("p", "error(disk is sad)"); err != nil {
+		t.Fatal(err)
+	}
+	err = Inject(nil, "p")
+	if !errors.Is(err, ErrInjected) || !strings.Contains(err.Error(), "disk is sad") {
+		t.Fatalf("err = %v, want wrapped message", err)
+	}
+	// Re-enabling replaced the point, so the counter restarted.
+	if Triggers("p") != 1 {
+		t.Fatalf("triggers = %d, want 1 (reset on re-enable)", Triggers("p"))
+	}
+}
+
+func TestSleepModeHonorsContext(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "sleep(30s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	start := time.Now()
+	err := Inject(ctx, "p")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled sleep did not return promptly")
+	}
+	// A short sleep completes and injects nothing.
+	if err := Enable("p", "sleep(1ms)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject(context.Background(), "p"); err != nil {
+		t.Fatalf("completed sleep: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "panic(boom)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom") {
+			t.Fatalf("recover = %v, want injected panic", r)
+		}
+	}()
+	Inject(nil, "p") //nolint:errcheck
+	t.Fatal("unreachable")
+}
+
+func TestFuncMode(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("from func")
+	var got context.Context
+	EnableFunc("p", func(ctx context.Context) error {
+		got = ctx
+		return sentinel
+	})
+	ctx := context.Background()
+	if err := Inject(ctx, "p"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got != ctx {
+		t.Fatal("callback did not receive the site context")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	defer Reset()
+	blob := []byte("all good bytes here")
+	if out := Corrupt("p", blob); !bytes.Equal(out, blob) {
+		t.Fatal("disarmed Corrupt modified the blob")
+	}
+	if err := Enable("p", "corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	out := Corrupt("p", blob)
+	if bytes.Equal(out, blob) {
+		t.Fatal("armed Corrupt returned intact bytes")
+	}
+	if !bytes.Equal(blob, []byte("all good bytes here")) {
+		t.Fatal("Corrupt mutated the caller's blob in place")
+	}
+	if len(Corrupt("p", nil)) == 0 {
+		t.Fatal("corrupting an empty blob should produce junk, not nothing")
+	}
+	// Non-corrupt modes leave payloads alone.
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if out := Corrupt("p", blob); !bytes.Equal(out, blob) {
+		t.Fatal("error-mode Corrupt modified the blob")
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Disable("p")
+	if Active("p") || Inject(nil, "p") != nil {
+		t.Fatal("disabled point still fires")
+	}
+	Disable("p") // double-disable is a no-op
+	if err := Enable("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("q", "off"); err != nil { // off == disable
+		t.Fatal(err)
+	}
+	Reset()
+	if Active("p") || armed.Load() != 0 {
+		t.Fatalf("reset left state: active=%v armed=%d", Active("p"), armed.Load())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"", "explode", "sleep", "sleep(xyz)", "error(unclosed", "sleep(1s"} {
+		if err := Enable("p", spec); err == nil {
+			t.Errorf("spec %q: expected parse error", spec)
+			Disable("p")
+		}
+	}
+}
+
+func TestLoadEnv(t *testing.T) {
+	defer Reset()
+	t.Setenv(EnvVar, " a=error , b=sleep(1ms),, c=error(x) ")
+	if err := LoadEnv(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !Active(name) {
+			t.Fatalf("%s not armed from env", name)
+		}
+	}
+	Reset()
+	t.Setenv(EnvVar, "")
+	if err := LoadEnv(); err != nil || armed.Load() != 0 {
+		t.Fatalf("empty env: err=%v armed=%d", err, armed.Load())
+	}
+	t.Setenv(EnvVar, "garbage-without-equals")
+	if err := LoadEnv(); err == nil {
+		t.Fatal("malformed env accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package memprot
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -113,6 +114,15 @@ func ProtectAll(schemes []Scheme, net *scalesim.NetworkResult, opts Options) ([]
 // ProtectAllArena is ProtectAll drawing overlay storage from an arena
 // (which may be nil). See Arena for the recycling contract.
 func ProtectAllArena(schemes []Scheme, net *scalesim.NetworkResult, opts Options, arena *Arena) ([]*Result, error) {
+	return ProtectAllArenaCtx(context.Background(), schemes, net, opts, arena)
+}
+
+// ProtectAllArenaCtx is ProtectAllArena under a context, checked once
+// per network layer — the protection walk is layer-streaming, so that
+// is the natural all-or-nothing boundary. On cancellation the partial
+// results are released back to the arena (nothing escapes to the
+// caller, who must not Release on error) and ctx.Err() is returned.
+func ProtectAllArenaCtx(ctx context.Context, schemes []Scheme, net *scalesim.NetworkResult, opts Options, arena *Arena) ([]*Result, error) {
 	ps := make([]*protector, len(schemes))
 	results := make([]*Result, len(schemes))
 	for k, s := range schemes {
@@ -128,7 +138,16 @@ func ProtectAllArena(schemes []Scheme, net *scalesim.NetworkResult, opts Options
 			Layers: make([]ProtectedLayer, len(net.Layers)),
 		}
 	}
+	done := ctx.Done()
 	for i := range net.Layers {
+		if done != nil {
+			select {
+			case <-done:
+				arena.Release(results)
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		lr := &net.Layers[i]
 		for k := range ps {
 			results[k].Layers[i] = ProtectedLayer{

@@ -9,11 +9,27 @@
 //
 //   - an in-memory LRU bounded by entry count,
 //   - an optional write-through disk layer (one file per key, written
-//     atomically), surviving process restarts,
+//     atomically and sealed with a SHA-256 integrity footer so torn or
+//     bit-rotted entries are detected on read), surviving process
+//     restarts,
 //   - a singleflight front: concurrent lookups of the same missing key
 //     coalesce onto one computation; the rest block and share its
 //     result. N identical concurrent requests perform exactly one
 //     evaluation.
+//
+// Computations are cancellation-aware and crash-isolated. Each compute
+// runs on its own goroutine under a context detached from any single
+// caller: a caller whose context is cancelled detaches immediately
+// (GetOrComputeCtx returns ctx.Err()) without leaking its compute slot
+// or poisoning the other waiters, and the computation itself is
+// cancelled only when every interested caller has detached — one
+// impatient client never kills a result another client is still
+// waiting for. An optional per-compute deadline
+// (Options.ComputeTimeout) bounds how long a stuck evaluation can
+// occupy a compute slot, and a panicking compute is recovered into an
+// error (wrapping ErrComputePanic) delivered to all waiters instead of
+// taking the process down. Failed or cancelled computations are never
+// cached, so the cache only ever holds complete results.
 //
 // All methods are safe for concurrent use. Returned blobs are shared —
 // callers must treat them as read-only.
@@ -21,11 +37,17 @@ package rescache
 
 import (
 	"container/list"
+	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"repro/internal/failpoint"
 )
 
 // ErrSaturated is returned by GetOrCompute when the cache cannot serve
@@ -35,11 +57,43 @@ import (
 // 503 with Retry-After.
 var ErrSaturated = errors.New("rescache: compute capacity saturated")
 
+// ErrComputePanic is wrapped by the error every waiter receives when a
+// computation panics. The panic is recovered on the compute goroutine,
+// so the process survives and the compute slot is released.
+var ErrComputePanic = errors.New("rescache: compute panicked")
+
+// Failpoint site names (see internal/failpoint). Armed in chaos tests
+// and via SEDA_FAILPOINTS; no-ops otherwise.
+const (
+	// FailpointDiskGet injects a disk read error (counted in
+	// Stats.DiskReadErrors; the lookup degrades to a miss).
+	FailpointDiskGet = "rescache.diskGet"
+	// FailpointDiskCorrupt corrupts the bytes read from disk before
+	// integrity verification, simulating a torn read.
+	FailpointDiskCorrupt = "rescache.diskGet.corrupt"
+	// FailpointDiskPut injects a disk write error (counted in
+	// Stats.DiskWriteErrors; the entry stays memory-only).
+	FailpointDiskPut = "rescache.diskPut"
+	// FailpointCompute fires at the top of every computation, with the
+	// compute's context: sleep = slow compute, panic = crashing
+	// compute, error = failing compute, EnableFunc = cancel-at-point.
+	FailpointCompute = "rescache.compute"
+)
+
 // DefaultMaxEntries bounds the in-memory LRU when Options.MaxEntries
 // is zero. Entries are whole sweep results (a few KB each), so the
 // default comfortably holds every (NPU, workload) pair of the paper's
 // evaluation many times over.
 const DefaultMaxEntries = 1024
+
+// footerLen is the length of the disk-entry integrity footer: a
+// SHA-256 digest of the payload appended at the end of the file. A
+// file whose digest does not match (truncated write, bit rot, a
+// pre-footer legacy entry) is treated as a miss, counted in
+// Stats.DiskReadErrors and deleted, so the next lookup recomputes and
+// rewrites a sealed entry — corruption self-heals and corrupted bytes
+// are never returned.
+const footerLen = sha256.Size
 
 // Options configures a Cache.
 type Options struct {
@@ -56,33 +110,52 @@ type Options struct {
 	// GetOrCompute sheds the request with ErrSaturated instead of
 	// queueing unbounded CPU work.
 	MaxInflightComputes int
+	// ComputeTimeout bounds each computation's wall-clock time; 0
+	// means unbounded. The deadline is attached to the context the
+	// compute function receives, so a cancellation-aware evaluation
+	// unwinds and frees its compute slot instead of occupying it
+	// forever; waiters receive context.DeadlineExceeded.
+	ComputeTimeout time.Duration
 }
 
 // Stats is a point-in-time snapshot of cache activity.
 type Stats struct {
-	Hits      uint64 // served from the in-memory LRU
-	DiskHits  uint64 // served from the disk layer (and promoted)
-	Coalesced uint64 // waited on an in-flight computation of the same key
-	Computes  uint64 // actual evaluations executed
-	Errors    uint64 // computations that returned an error (not cached)
-	Shed      uint64 // misses rejected at the bounded compute capacity
-	Entries   int    // current in-memory entry count
-	Inflight  int    // computations currently executing
+	Hits            uint64 // served from the in-memory LRU
+	DiskHits        uint64 // served from the disk layer (and promoted)
+	Coalesced       uint64 // waited on an in-flight computation of the same key
+	Computes        uint64 // actual evaluations executed
+	Errors          uint64 // computations that returned an error (not cached)
+	Shed            uint64 // misses rejected at the bounded compute capacity
+	Panics          uint64 // computations that panicked (recovered into errors)
+	DiskReadErrors  uint64 // disk lookups that failed or failed integrity verification
+	DiskWriteErrors uint64 // disk write-throughs that failed (entry stays memory-only)
+	Entries         int    // current in-memory entry count
+	Inflight        int    // computations currently executing
 }
 
-// call is one in-flight computation; waiters block on done.
+// call is one in-flight computation; waiters block on done. waiters
+// counts the callers (leader included) still interested in the result:
+// a caller whose context is cancelled decrements it on the way out,
+// and when it reaches zero cancel — set once the compute context
+// exists — aborts the computation, freeing its slot. fromDisk records
+// that the "computation" was actually a disk-layer hit.
 type call struct {
-	done chan struct{}
-	blob []byte
-	err  error
+	done     chan struct{}
+	blob     []byte
+	err      error
+	fromDisk bool
+
+	waiters int
+	cancel  context.CancelFunc
 }
 
 // Cache is a content-addressed blob cache. The zero value is not
 // usable; construct with New.
 type Cache struct {
-	maxEntries int
-	dir        string
-	sem        chan struct{} // compute slots; nil = unlimited
+	maxEntries     int
+	dir            string
+	computeTimeout time.Duration
+	sem            chan struct{} // compute slots; nil = unlimited
 
 	mu       sync.Mutex
 	ll       *list.List // front = most recently used
@@ -129,11 +202,12 @@ func New(opts Options) (*Cache, error) {
 		}
 	}
 	c := &Cache{
-		maxEntries: opts.MaxEntries,
-		dir:        opts.Dir,
-		ll:         list.New(),
-		entries:    make(map[string]*list.Element),
-		inflight:   make(map[string]*call),
+		maxEntries:     opts.MaxEntries,
+		dir:            opts.Dir,
+		computeTimeout: opts.ComputeTimeout,
+		ll:             list.New(),
+		entries:        make(map[string]*list.Element),
+		inflight:       make(map[string]*call),
 	}
 	if opts.MaxInflightComputes > 0 {
 		c.sem = make(chan struct{}, opts.MaxInflightComputes)
@@ -168,43 +242,108 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // (memory hit, disk hit, or coalesced onto another caller's in-flight
 // computation). Errors from compute are returned to every coalesced
 // caller and are not cached.
+//
+// GetOrCompute never detaches (it waits until the computation
+// resolves); cancellation-aware callers use GetOrComputeCtx.
 func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob []byte, hit bool, err error) {
+	var fn func(context.Context) ([]byte, error)
+	if compute != nil {
+		fn = func(context.Context) ([]byte, error) { return compute() }
+	}
+	return c.GetOrComputeCtx(context.Background(), key, fn)
+}
+
+// GetOrComputeCtx is GetOrCompute under a caller context. The context
+// governs only this caller's wait, not the computation: compute runs
+// on its own goroutine under a context derived from the cache (plus
+// Options.ComputeTimeout), and ctx expiring makes this call return
+// ctx.Err() immediately — the compute slot is not leaked, other
+// waiters are unaffected, and the computation itself is cancelled only
+// once every waiter has detached, so an abandoned evaluation stops
+// burning CPU while a shared one survives any single client.
+//
+// compute receives that detached context and should honor it; the
+// result of a cancelled or failed compute is never cached.
+func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (blob []byte, hit bool, err error) {
 	c.mu.Lock()
 	if blob, ok := c.memGetLocked(key); ok {
 		c.mu.Unlock()
 		return blob, true, nil
 	}
+	if err := ctx.Err(); err != nil {
+		c.mu.Unlock()
+		return nil, false, err
+	}
 	if cl, ok := c.inflight[key]; ok {
 		c.stats.Coalesced++
+		cl.waiters++
 		c.mu.Unlock()
-		<-cl.done
-		return cl.blob, true, cl.err
+		return c.wait(ctx, cl, false)
 	}
-	cl := &call{done: make(chan struct{})}
+	cl := &call{done: make(chan struct{}), waiters: 1}
 	c.inflight[key] = cl
 	c.mu.Unlock()
 
-	// This goroutine is the leader for key: it checks disk and, on a
-	// full miss, evaluates. Both happen outside the lock so other keys
-	// proceed; same-key callers block on cl.done above. A fresh
-	// evaluation needs a compute slot when the capacity is bounded —
-	// none free means the whole machine is already saturated with
-	// evaluations, so the leader (and everyone coalesced onto it) sheds
-	// with ErrSaturated rather than piling more CPU work behind a
-	// growing tail latency.
-	var fromDisk bool
+	// This call is the leader for key, but the work runs on a separate
+	// goroutine so the leader can detach on cancellation exactly like a
+	// coalesced waiter. The goroutine checks disk and, on a full miss,
+	// evaluates; same-key callers block on cl.done. A fresh evaluation
+	// needs a compute slot when the capacity is bounded — none free
+	// means the whole machine is already saturated with evaluations, so
+	// the computation (and everyone coalesced onto it) sheds with
+	// ErrSaturated rather than piling more CPU work behind a growing
+	// tail latency.
+	go c.lead(key, cl, compute)
+	return c.wait(ctx, cl, true)
+}
+
+// wait blocks until the call resolves or the caller's context expires.
+// On cancellation the caller detaches: its interest is withdrawn, and
+// if it was the last interested party the computation itself is
+// cancelled (freeing the compute slot as soon as the compute function
+// observes its context).
+func (c *Cache) wait(ctx context.Context, cl *call, leader bool) ([]byte, bool, error) {
+	select {
+	case <-cl.done:
+		if cl.err != nil {
+			return nil, false, cl.err
+		}
+		return cl.blob, !leader || cl.fromDisk, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		cancel := cl.cancel
+		abandoned := cl.waiters == 0
+		c.mu.Unlock()
+		if abandoned && cancel != nil {
+			cancel()
+		}
+		return nil, false, ctx.Err()
+	}
+}
+
+// lead runs one key's resolution on its own goroutine: disk probe,
+// slot acquisition, compute, accounting, publication.
+func (c *Cache) lead(key string, cl *call, compute func(context.Context) ([]byte, error)) {
 	if diskBlob, ok := c.diskGet(key); ok {
-		cl.blob, fromDisk = diskBlob, true
+		cl.blob, cl.fromDisk = diskBlob, true
 	} else if c.sem != nil {
 		select {
 		case c.sem <- struct{}{}:
-			cl.blob, cl.err = compute()
+			c.runCompute(cl, compute)
 			<-c.sem
 		default:
 			cl.err = ErrSaturated
 		}
 	} else {
-		cl.blob, cl.err = compute()
+		c.runCompute(cl, compute)
+	}
+
+	// Write through to disk before publishing, so a caller that
+	// observed the result can rely on the disk entry existing (and a
+	// write failure is already counted when Stats is read).
+	if cl.err == nil && !cl.fromDisk {
+		c.diskPut(key, cl.blob)
 	}
 
 	c.mu.Lock()
@@ -214,7 +353,10 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 		c.stats.Shed++
 	case cl.err != nil:
 		c.stats.Errors++
-	case fromDisk:
+		if errors.Is(cl.err, ErrComputePanic) {
+			c.stats.Panics++
+		}
+	case cl.fromDisk:
 		c.stats.DiskHits++
 		c.memAddLocked(key, cl.blob)
 	default:
@@ -223,15 +365,42 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 	}
 	c.mu.Unlock()
 	close(cl.done)
+}
 
-	if cl.err != nil {
-		return nil, false, cl.err
+// runCompute executes compute under the call's detached context,
+// converting panics into errors so a crashing evaluation cannot take
+// the process down or strand its waiters.
+func (c *Cache) runCompute(cl *call, compute func(context.Context) ([]byte, error)) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if c.computeTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.computeTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
-	if !fromDisk {
-		c.diskPut(key, cl.blob)
-		return cl.blob, false, nil
+	defer cancel()
+
+	c.mu.Lock()
+	cl.cancel = cancel
+	abandoned := cl.waiters == 0
+	c.mu.Unlock()
+	if abandoned {
+		// Every caller detached before the compute context existed;
+		// start it pre-cancelled so a context-aware compute returns
+		// immediately instead of evaluating for nobody.
+		cancel()
 	}
-	return cl.blob, true, nil
+
+	defer func() {
+		if r := recover(); r != nil {
+			cl.blob, cl.err = nil, fmt.Errorf("%w: %v", ErrComputePanic, r)
+		}
+	}()
+	if err := failpoint.Inject(ctx, FailpointCompute); err != nil {
+		cl.err = err
+		return
+	}
+	cl.blob, cl.err = compute(ctx)
 }
 
 // ComputeSlots returns the bounded compute capacity (0 = unlimited).
@@ -311,38 +480,87 @@ func (c *Cache) diskPath(key string) (string, bool) {
 	return filepath.Join(c.dir, key), true
 }
 
+func (c *Cache) noteDiskReadError() {
+	c.mu.Lock()
+	c.stats.DiskReadErrors++
+	c.mu.Unlock()
+}
+
+func (c *Cache) noteDiskWriteError() {
+	c.mu.Lock()
+	c.stats.DiskWriteErrors++
+	c.mu.Unlock()
+}
+
+// diskGet reads and verifies a disk entry. IO failures (other than the
+// file simply not existing) and integrity-footer mismatches count as
+// disk read errors and degrade to a miss; a corrupt file is deleted so
+// the recompute path rewrites a sealed entry.
 func (c *Cache) diskGet(key string) ([]byte, bool) {
 	path, ok := c.diskPath(key)
 	if !ok {
 		return nil, false
 	}
-	blob, err := os.ReadFile(path)
+	if err := failpoint.Inject(nil, FailpointDiskGet); err != nil {
+		c.noteDiskReadError()
+		return nil, false
+	}
+	raw, err := os.ReadFile(path)
 	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.noteDiskReadError()
+		}
+		return nil, false
+	}
+	raw = failpoint.Corrupt(FailpointDiskCorrupt, raw)
+	if len(raw) < footerLen {
+		c.noteDiskReadError()
+		os.Remove(path) //nolint:errcheck
+		return nil, false
+	}
+	blob, footer := raw[:len(raw)-footerLen], raw[len(raw)-footerLen:]
+	if sum := sha256.Sum256(blob); [footerLen]byte(footer) != sum {
+		c.noteDiskReadError()
+		os.Remove(path) //nolint:errcheck
 		return nil, false
 	}
 	return blob, true
 }
 
-// diskPut writes the blob atomically (temp file + rename) so readers
-// never observe a torn entry. Write failures are ignored: the disk
+// diskPut writes the blob plus its integrity footer atomically (temp
+// file + rename) so readers never observe a torn entry, and torn
+// writes that slip through (power loss mid-rename on weaker
+// filesystems) fail the footer check on read. Write failures keep the
+// entry memory-only and are counted in Stats.DiskWriteErrors: the disk
 // layer is an accelerator, not a store of record.
 func (c *Cache) diskPut(key string, blob []byte) {
 	path, ok := c.diskPath(key)
 	if !ok {
 		return
 	}
+	if err := failpoint.Inject(nil, FailpointDiskPut); err != nil {
+		c.noteDiskWriteError()
+		return
+	}
 	tmp, err := os.CreateTemp(c.dir, "tmp-*")
 	if err != nil {
+		c.noteDiskWriteError()
 		return
 	}
 	name := tmp.Name()
+	sum := sha256.Sum256(blob)
 	_, werr := tmp.Write(blob)
+	if werr == nil {
+		_, werr = tmp.Write(sum[:])
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(name) //nolint:errcheck
+		c.noteDiskWriteError()
 		return
 	}
 	if err := os.Rename(name, path); err != nil {
 		os.Remove(name) //nolint:errcheck
+		c.noteDiskWriteError()
 	}
 }

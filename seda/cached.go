@@ -1,6 +1,7 @@
 package seda
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -26,16 +27,26 @@ import (
 // layer, or by coalescing onto a concurrent identical evaluation. A
 // nil cache degrades to RunNetworkOpts.
 func RunNetworkCached(c *rescache.Cache, npu NPUConfig, net *model.Network, opts SuiteOptions) (rows []RunResult, hit bool, err error) {
+	return RunNetworkCachedCtx(context.Background(), c, npu, net, opts)
+}
+
+// RunNetworkCachedCtx is RunNetworkCached under a caller context. The
+// context governs this caller's wait on the cache, not the evaluation
+// itself: the pipeline runs under the cache's detached compute context
+// (which the evaluation observes via RunNetworkOptsCtx), so a caller
+// that cancels detaches immediately while an evaluation other callers
+// still await keeps running — see rescache.GetOrComputeCtx.
+func RunNetworkCachedCtx(ctx context.Context, c *rescache.Cache, npu NPUConfig, net *model.Network, opts SuiteOptions) (rows []RunResult, hit bool, err error) {
 	if c == nil {
-		rows, err = RunNetworkOpts(npu, net, opts)
+		rows, err = RunNetworkOptsCtx(ctx, npu, net, opts)
 		return rows, false, err
 	}
 	if err := npu.Validate(); err != nil {
 		return nil, false, err
 	}
 	key := ConfigFingerprint(npu, net)
-	compute := func() ([]byte, error) {
-		fresh, err := RunNetworkOpts(npu, net, opts)
+	compute := func(cctx context.Context) ([]byte, error) {
+		fresh, err := RunNetworkOptsCtx(cctx, npu, net, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +57,7 @@ func RunNetworkCached(c *rescache.Cache, npu NPUConfig, net *model.Network, opts
 	// marshaling of a full scheme set): evict it and recompute once, so
 	// the cache self-heals instead of pinning the corruption in memory.
 	for attempt := 0; ; attempt++ {
-		blob, hit, err := c.GetOrCompute(key, compute)
+		blob, hit, err := c.GetOrComputeCtx(ctx, key, compute)
 		if err != nil {
 			return nil, false, err
 		}
@@ -72,11 +83,17 @@ func RunNetworkCached(c *rescache.Cache, npu NPUConfig, net *model.Network, opts
 // run through the same bounded worker pool as RunSuiteOpts, and output
 // is assembled in input order regardless of scheduling.
 func RunSuiteCached(c *rescache.Cache, npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
+	return RunSuiteCachedCtx(context.Background(), c, npu, nets, opts)
+}
+
+// RunSuiteCachedCtx is RunSuiteCached under a caller context, with the
+// per-workload cancellation semantics of RunNetworkCachedCtx.
+func RunSuiteCachedCtx(ctx context.Context, c *rescache.Cache, npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
 	if c == nil {
-		return RunSuiteOpts(npu, nets, opts)
+		return RunSuiteOptsCtx(ctx, npu, nets, opts)
 	}
-	return runSuiteWith(npu, nets, opts, func(n *model.Network) ([]RunResult, error) {
-		rows, _, err := RunNetworkCached(c, npu, n, opts)
+	return runSuiteWith(ctx, npu, nets, opts, func(ctx context.Context, n *model.Network) ([]RunResult, error) {
+		rows, _, err := RunNetworkCachedCtx(ctx, c, npu, n, opts)
 		return rows, err
 	})
 }

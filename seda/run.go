@@ -1,6 +1,7 @@
 package seda
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,6 +80,16 @@ func RunNetwork(npu NPUConfig, net *model.Network) ([]RunResult, error) {
 // The DRAM phase then consumes spine+overlay pairs directly, with all
 // six schemes drawing their scratch queues from one shared arena.
 func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]RunResult, error) {
+	return RunNetworkOptsCtx(context.Background(), npu, net, opts)
+}
+
+// RunNetworkOptsCtx is RunNetworkOpts under a caller context,
+// propagated into the protection walk (checked per layer) and the DRAM
+// drain loops (checked every few thousand scheduler picks). A
+// cancelled evaluation returns ctx.Err() with no partial rows; the
+// context adds no measurable work when it cannot be cancelled
+// (context.Background), so the wrappers cost nothing.
+func RunNetworkOptsCtx(ctx context.Context, npu NPUConfig, net *model.Network, opts SuiteOptions) ([]RunResult, error) {
 	if err := npu.Validate(); err != nil {
 		return nil, err
 	}
@@ -99,7 +110,7 @@ func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]Run
 	schemes := Schemes()
 	popts := memprot.DefaultOptions()
 	popts.OptBlkCache = optBlkCache
-	prots, err := memprot.ProtectAllArena(schemes, sim, popts, protArena)
+	prots, err := memprot.ProtectAllArenaCtx(ctx, schemes, sim, popts, protArena)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +125,10 @@ func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]Run
 	errs := make([]error, len(schemes))
 	if opts.SequentialSchemes {
 		for i := range schemes {
-			rows[i], errs[i] = runScheme(npu, net, sim, prots[i], opts)
+			rows[i], errs[i] = runScheme(ctx, npu, net, sim, prots[i], opts)
+			if errs[i] != nil {
+				break
+			}
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -122,7 +136,7 @@ func RunNetworkOpts(npu NPUConfig, net *model.Network, opts SuiteOptions) ([]Run
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				rows[i], errs[i] = runScheme(npu, net, sim, prots[i], opts)
+				rows[i], errs[i] = runScheme(ctx, npu, net, sim, prots[i], opts)
 			}(i)
 		}
 		wg.Wait()
@@ -156,7 +170,7 @@ func safeRatio(num, den float64) float64 {
 // the sum over layers of max(compute, memory): the accelerator
 // double-buffers, so within a layer compute and DRAM overlap, but
 // layer boundaries synchronize.
-func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, prot *memprot.Result, opts SuiteOptions) (RunResult, error) {
+func runScheme(ctx context.Context, npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, prot *memprot.Result, opts SuiteOptions) (RunResult, error) {
 	dsim, err := dram.New(npu.dramConfig())
 	if err != nil {
 		return RunResult{}, err
@@ -171,7 +185,10 @@ func runScheme(npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, p
 	}
 	for i := range prot.Layers {
 		pl := &prot.Layers[i]
-		st := dsim.RunOverlay(pl.Spine, pl.Deltas)
+		st, err := dsim.RunOverlayCtx(ctx, pl.Spine, pl.Deltas)
+		if err != nil {
+			return RunResult{}, err
+		}
 		compute := sim.Layers[i].ComputeCycles
 		layerCycles := st.Cycles
 		if compute > layerCycles {

@@ -1,6 +1,7 @@
 package seda
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -70,15 +71,28 @@ func RunSuiteOn(npu NPUConfig, nets []*model.Network) (*SuiteResult, error) {
 // are collected per slot and assembled in input order, and the first
 // error (in input order) wins, so output is independent of scheduling.
 func RunSuiteOpts(npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
-	return runSuiteWith(npu, nets, opts, func(n *model.Network) ([]RunResult, error) {
-		return RunNetworkOpts(npu, n, opts)
+	return RunSuiteOptsCtx(context.Background(), npu, nets, opts)
+}
+
+// RunSuiteOptsCtx is RunSuiteOpts under a caller context. Cancellation
+// propagates into every in-flight workload evaluation (see
+// RunNetworkOptsCtx) and stops the pool dispatching new ones; a
+// cancelled sweep returns ctx.Err() and no partial result.
+func RunSuiteOptsCtx(ctx context.Context, npu NPUConfig, nets []*model.Network, opts SuiteOptions) (*SuiteResult, error) {
+	return runSuiteWith(ctx, npu, nets, opts, func(ctx context.Context, n *model.Network) ([]RunResult, error) {
+		return RunNetworkOptsCtx(ctx, npu, n, opts)
 	})
 }
 
 // runSuiteWith is the suite scaffolding shared by RunSuiteOpts and
 // RunSuiteCached: a bounded worker pool over the workloads, per-slot
 // result collection, and input-order assembly and error reporting.
-func runSuiteWith(npu NPUConfig, nets []*model.Network, opts SuiteOptions, run func(*model.Network) ([]RunResult, error)) (*SuiteResult, error) {
+// The context gates dispatch (no new workload starts once it is
+// cancelled) and is passed to run for intra-workload cancellation;
+// when it expires, the first error reported is ctx.Err() itself, so
+// callers see the cancellation rather than an arbitrary workload's
+// wrapped copy of it.
+func runSuiteWith(ctx context.Context, npu NPUConfig, nets []*model.Network, opts SuiteOptions, run func(context.Context, *model.Network) ([]RunResult, error)) (*SuiteResult, error) {
 	workers := opts.workers()
 	if workers > len(nets) {
 		workers = len(nets)
@@ -86,9 +100,24 @@ func runSuiteWith(npu NPUConfig, nets []*model.Network, opts SuiteOptions, run f
 
 	rows := make([][]RunResult, len(nets))
 	errs := make([]error, len(nets))
+	done := ctx.Done()
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	if workers <= 1 {
 		for i, n := range nets {
-			rows[i], errs[i] = run(n)
+			if cancelled() {
+				break
+			}
+			rows[i], errs[i] = run(ctx, n)
 		}
 	} else {
 		idx := make(chan int)
@@ -98,15 +127,23 @@ func runSuiteWith(npu NPUConfig, nets []*model.Network, opts SuiteOptions, run f
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					rows[i], errs[i] = run(nets[i])
+					rows[i], errs[i] = run(ctx, nets[i])
 				}
 			}()
 		}
+	dispatch:
 		for i := range nets {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-done:
+				break dispatch
+			}
 		}
 		close(idx)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res := &SuiteResult{NPU: npu, Rows: make(map[string][]RunResult, len(nets))}
