@@ -21,6 +21,10 @@
 //	GET /v1/schemes                the protection schemes and their features
 //	GET /v1/sweep?npu=server&fig=5a[&workloads=let,ncf][&format=csv]
 //	                               figure series (JSON, or CSV per Accept)
+//	GET /v1/explore?spec=rows=16:256:2x,channels=2|4[&base=edge][&workloads=let]
+//	                               design-space exploration: surrogate-pruned
+//	                               grid sweep with cycle-accurate confirmation
+//	                               of the Pareto candidates
 package main
 
 import (
@@ -54,6 +58,7 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request evaluation deadline; expiry answers 504 (0 = none, bounded by -write-timeout)")
 	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline in the result cache; a stuck evaluation frees its slot at expiry (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
+	maxExplorePoints := flag.Int("max-explore-points", DefaultMaxExplorePoints, "largest grid /v1/explore accepts (points before validation)")
 	flag.Parse()
 
 	// Chaos-test fault sites arm from the environment, e.g.
@@ -95,8 +100,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "seda-serve: listening on http://%s\n", bound)
 
+	sv := newServer(cache, opts, *requestTimeout)
+	sv.maxExplore = *maxExplorePoints
 	srv := &http.Server{
-		Handler:           newServer(cache, opts, *requestTimeout).handler(),
+		Handler:           sv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

@@ -37,6 +37,7 @@ type server struct {
 	cache      *rescache.Cache
 	opts       seda.SuiteOptions
 	reqTimeout time.Duration // per-request deadline; 0 = none
+	maxExplore int           // /v1/explore grid-size cap; 0 = DefaultMaxExplorePoints
 	reqs       atomic.Uint64
 	panics     atomic.Uint64 // handler panics recovered by the middleware
 }
@@ -63,6 +64,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/workloads", s.get(s.handleWorkloads))
 	mux.HandleFunc("/v1/schemes", s.get(s.handleSchemes))
 	mux.HandleFunc("/v1/sweep", s.get(s.handleSweep))
+	mux.HandleFunc("/v1/explore", s.get(s.handleExplore))
 	return mux
 }
 
@@ -215,34 +217,21 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if npuName == "" {
 			npuName = fig.npu
-		} else if npuName != fig.npu {
+		} else if !strings.EqualFold(npuName, fig.npu) {
 			badRequest(w, "fig %s is the %s NPU, but npu=%q was requested", figName, fig.npu, npuName)
 			return
 		}
 	}
-	var npu seda.NPUConfig
-	switch npuName {
-	case "server":
-		npu = seda.ServerNPU()
-	case "edge":
-		npu = seda.EdgeNPU()
-	default:
-		badRequest(w, "unknown npu %q (want server or edge)", npuName)
+	npu, err := seda.NPUByName(npuName)
+	if err != nil {
+		badRequest(w, "%v", err)
 		return
 	}
 
-	nets := model.All()
-	if raw := q.Get("workloads"); raw != "" {
-		nets = nets[:0:0]
-		for _, name := range strings.Split(raw, ",") {
-			name = strings.TrimSpace(name)
-			n := model.ByName(name)
-			if n == nil {
-				badRequest(w, "unknown workload %q (known: %s)", name, strings.Join(model.Names(), ", "))
-				return
-			}
-			nets = append(nets, n)
-		}
+	nets, err := parseWorkloads(q.Get("workloads"))
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
 	}
 
 	csvOut, err := wantCSV(r)

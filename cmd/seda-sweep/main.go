@@ -2,6 +2,11 @@
 // Fig. 5 (normalized memory traffic) and Fig. 6 (normalized
 // performance) for the 13-workload benchmark suite on the server and
 // edge NPUs, plus the Fig. 1(d) motivation data and Table III.
+//
+// With -explore it instead runs a design-space exploration over a
+// parametric platform grid (see internal/explore):
+//
+//	seda-sweep -explore 'rows=16:256:2x,channels=2|4' -base edge -workloads let
 package main
 
 import (
@@ -12,9 +17,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 
+	"repro/internal/explore"
 	"repro/internal/memprot"
 	"repro/internal/model"
 	"repro/internal/rescache"
@@ -30,6 +37,10 @@ func main() {
 	useCache := flag.Bool("cache", false, "memoize sweep results through the content-addressed cache (warm-start reruns)")
 	cacheDir := flag.String("cache-dir", "auto", "disk cache directory with -cache; \"auto\" = <user cache dir>/seda-repro (shared with seda-serve), \"off\" = memory only")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (the hot-path work of PRs 1–5 was steered by exactly this view; pair with -seq for a single-goroutine profile)")
+	exploreSpec := flag.String("explore", "", "run a design-space exploration over this grid spec (e.g. 'rows=16:256:2x,channels=2|4') instead of regenerating figures")
+	exploreBase := flag.String("base", "edge", "with -explore: platform preset the grid perturbs")
+	exploreWorkloads := flag.String("workloads", "", "with -explore: comma-separated workload subset (default: the full suite)")
+	exploreScheme := flag.String("scheme", "SeDA", "with -explore: protection scheme explored under")
 	flag.Parse()
 
 	if *table3 {
@@ -81,6 +92,13 @@ func main() {
 	// falls back to the default handler and kills outright.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *exploreSpec != "" {
+		if err := runExplore(ctx, cache, opts, *exploreSpec, *exploreBase, *exploreWorkloads, *exploreScheme, *jsonOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var srv, edg *seda.SuiteResult
 	var err error
@@ -143,6 +161,68 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown figure %q", *fig))
 	}
+}
+
+// runExplore is the -explore mode: parse the grid, run the
+// surrogate-pruned exploration, and print either the full JSON wire
+// form (-json) or a frontier table plus a grep-friendly summary line.
+func runExplore(ctx context.Context, cache *rescache.Cache, opts seda.SuiteOptions, rawSpec, baseName, workloads, schemeName string, jsonOut bool) error {
+	spec, err := explore.ParseSpec(rawSpec)
+	if err != nil {
+		return err
+	}
+	base, err := seda.NPUByName(baseName)
+	if err != nil {
+		return err
+	}
+	scheme, err := seda.SchemeByName(schemeName)
+	if err != nil {
+		return err
+	}
+	nets := model.All()
+	if workloads != "" {
+		nets = nets[:0:0]
+		for _, name := range strings.Split(workloads, ",") {
+			name = strings.TrimSpace(name)
+			n := model.ByName(name)
+			if n == nil {
+				return fmt.Errorf("unknown workload %q (known: %s)", name, strings.Join(model.Names(), ", "))
+			}
+			nets = append(nets, n)
+		}
+	}
+
+	res, err := explore.Run(ctx, spec, base, explore.Options{
+		Workloads: nets,
+		Scheme:    scheme,
+		Cache:     cache,
+		Suite:     opts,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return res.WriteJSON(os.Stdout)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Pareto frontier of %s over base %s (scheme %s, workloads %s)\n",
+		res.Spec, res.Base, res.Scheme.Name(), strings.Join(res.Workloads, ","))
+	fmt.Fprintln(w, "point\tcost\tsurrogate cycles\texec cycles")
+	for _, i := range res.Frontier {
+		p := &res.Points[i]
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%d\n", p.Config.Name, p.Cost, p.SurrogateCycles, p.ExecCycles)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("explore: points=%d invalid=%d candidates=%d confirmed=%d frontier=%d margin=%.3f",
+		len(res.Points)+res.Invalid, res.Invalid, res.Candidates(), res.Confirmed(), len(res.Frontier), res.Margin)
+	if cache != nil {
+		fmt.Printf(" fresh_computes=%d", cache.Stats().Computes)
+	}
+	fmt.Println()
+	return nil
 }
 
 // printFig1d reproduces the motivation figure: memory-access overhead

@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"math"
+	"sort"
+)
+
+// frontier returns the indices of the exact Pareto frontier under
+// minimization of (cost, cycles): point p is dominated when some q has
+// cost_q <= cost_p and cycles_q <= cycles_p with at least one strict.
+// Duplicate optima (equal cost and cycles) are all kept. The result is
+// sorted by cost ascending.
+func frontier(cost, cycles []float64) []int {
+	order := byCostThenCycles(cost, cycles)
+	var out []int
+	i := 0
+	bestCycles := 0.0
+	haveBest := false
+	for i < len(order) {
+		// One equal-cost group at a time: within a group only the
+		// minimum-cycles points can be non-dominated, and they are
+		// dominated iff a strictly cheaper point already matched them.
+		j := i
+		groupMin := cycles[order[i]]
+		for j < len(order) && cost[order[j]] == cost[order[i]] {
+			if cycles[order[j]] < groupMin {
+				groupMin = cycles[order[j]]
+			}
+			j++
+		}
+		if !haveBest || groupMin < bestCycles {
+			for k := i; k < j; k++ {
+				if cycles[order[k]] == groupMin {
+					out = append(out, order[k])
+				}
+			}
+			bestCycles, haveBest = groupMin, true
+		}
+		i = j
+	}
+	return out
+}
+
+// pruneWithBounds returns the indices that might be on the frontier
+// when each point's true cycles are only known to lie in
+// [lower[p], upper[p]]. Point p is pruned exactly when some q proves
+// dominance for every realization within the bounds:
+//
+//	cost_q <  cost_p  and  upper_q <= lower_p   (q is strictly cheaper
+//	    and never slower, so q dominates p even on a cycle tie), or
+//	cost_q == cost_p  and  upper_q <  lower_p   (same cost needs a
+//	    strictly faster q).
+//
+// As long as the bounds hold, every true-frontier point survives. The
+// tie-aware first rule is what collapses saturated plateaus — a stretch
+// of configs whose execution is pinned at the same compute floor while
+// cost keeps rising — which a plain symmetric margin around the
+// estimate could never prune.
+func pruneWithBounds(cost, lower, upper []float64) []int {
+	order := byCostThenCycles(cost, lower)
+	var out []int
+	minUpperCheaper := math.Inf(1) // over strictly cheaper points
+	i := 0
+	for i < len(order) {
+		// One equal-cost group at a time.
+		j := i
+		groupMinUpper := math.Inf(1)
+		for j < len(order) && cost[order[j]] == cost[order[i]] {
+			if upper[order[j]] < groupMinUpper {
+				groupMinUpper = upper[order[j]]
+			}
+			j++
+		}
+		for k := i; k < j; k++ {
+			p := order[k]
+			if minUpperCheaper <= lower[p] || groupMinUpper < lower[p] {
+				continue // provably dominated
+			}
+			out = append(out, p)
+		}
+		if groupMinUpper < minUpperCheaper {
+			minUpperCheaper = groupMinUpper
+		}
+		i = j
+	}
+	sort.Ints(out)
+	return out
+}
+
+// byCostThenCycles returns point indices sorted by (cost, cycles)
+// ascending, with the index itself as the final tie-break so the order
+// is a deterministic function of the inputs.
+func byCostThenCycles(cost, cycles []float64) []int {
+	order := make([]int, len(cost))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := order[a], order[b]
+		if cost[pa] != cost[pb] {
+			return cost[pa] < cost[pb]
+		}
+		if cycles[pa] != cycles[pb] {
+			return cycles[pa] < cycles[pb]
+		}
+		return pa < pb
+	})
+	return order
+}

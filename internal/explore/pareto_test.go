@@ -1,0 +1,114 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFrontier(t *testing.T) {
+	cases := []struct {
+		name   string
+		cost   []float64
+		cycles []float64
+		want   []int
+	}{
+		{"empty", nil, nil, nil},
+		{"single", []float64{1}, []float64{1}, []int{0}},
+		{"chain", []float64{1, 2, 3}, []float64{30, 20, 10}, []int{0, 1, 2}},
+		{"dominated middle", []float64{1, 2, 3}, []float64{10, 20, 5}, []int{0, 2}},
+		{"equal cost keeps min cycles", []float64{1, 1, 2}, []float64{5, 3, 1}, []int{1, 2}},
+		{"equal cycles cheapest wins", []float64{1, 2}, []float64{5, 5}, []int{0}},
+		{"exact duplicates both kept", []float64{1, 1, 2}, []float64{5, 5, 9}, []int{0, 1}},
+		{"all dominated by corner", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := frontier(tc.cost, tc.cycles)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("frontier(%v, %v) = %v, want %v", tc.cost, tc.cycles, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPruneWithBoundsSound: whenever the true cycles lie within each
+// point's [lower, upper] interval, no true-frontier point may be
+// pruned. The test uses adversarial bounds — frontier points pushed to
+// their upper end, dominated points to their lower end, the
+// realization most likely to prune a frontier point.
+func TestPruneWithBoundsSound(t *testing.T) {
+	cost := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	truth := []float64{100, 90, 95, 40, 50, 38, 37, 36.5}
+	trueFront := frontier(cost, truth)
+	for _, margin := range []float64{0.05, 0.10, 0.25} {
+		lower := make([]float64, len(truth))
+		upper := make([]float64, len(truth))
+		for i := range truth {
+			lower[i] = truth[i] * (1 - margin)
+			upper[i] = truth[i] * (1 + margin)
+		}
+		kept := map[int]bool{}
+		for _, i := range pruneWithBounds(cost, lower, upper) {
+			kept[i] = true
+		}
+		for _, i := range trueFront {
+			if !kept[i] {
+				t.Errorf("margin %.2f: true frontier point %d pruned", margin, i)
+			}
+		}
+	}
+}
+
+// TestPruneWithBoundsPrunes: clearly dominated points (intervals
+// wholly above a cheaper point's) must go, or the engine would
+// confirm everything.
+func TestPruneWithBoundsPrunes(t *testing.T) {
+	cost := []float64{1, 2, 3}
+	lower := []float64{90, 900, 89}
+	upper := []float64{110, 1100, 109}
+	kept := pruneWithBounds(cost, lower, upper)
+	for _, i := range kept {
+		if i == 1 {
+			t.Error("point 1 (10x worse than a cheaper point) survived")
+		}
+	}
+	if len(kept) == 0 {
+		t.Error("pruning removed everything")
+	}
+}
+
+// TestPruneCollapsesPlateaus: points with identical exact values
+// (lower == upper) at increasing cost are a saturated plateau; only
+// the cheapest survives, because a strictly cheaper never-slower point
+// dominates even on a cycle tie.
+func TestPruneCollapsesPlateaus(t *testing.T) {
+	cost := []float64{1, 2, 3, 4}
+	flat := []float64{50, 50, 50, 40}
+	kept := pruneWithBounds(cost, flat, flat)
+	want := []int{0, 3}
+	if !reflect.DeepEqual(kept, want) {
+		t.Errorf("kept %v, want %v", kept, want)
+	}
+}
+
+// TestPruneExactBoundsMatchFrontierSupport: with zero-width bounds the
+// surviving set is exactly the frontier support (dominance fully
+// decidable).
+func TestPruneExactBoundsMatchFrontierSupport(t *testing.T) {
+	cost := []float64{1, 2, 3, 4}
+	est := []float64{10, 5, 6, 2}
+	kept := pruneWithBounds(cost, est, est)
+	want := []int{0, 1, 3}
+	if !reflect.DeepEqual(kept, want) {
+		t.Errorf("kept %v, want %v", kept, want)
+	}
+	// Equal-cost duplicates: neither can prove strict dominance, both
+	// survive.
+	cost = []float64{1, 1}
+	est = []float64{5, 5}
+	kept = pruneWithBounds(cost, est, est)
+	want = []int{0, 1}
+	if !reflect.DeepEqual(kept, want) {
+		t.Errorf("kept %v, want %v", kept, want)
+	}
+}

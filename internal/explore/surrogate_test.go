@@ -1,0 +1,37 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/memprot"
+	"repro/internal/model"
+	"repro/seda"
+)
+
+// TestSurrogateErrorBound pins the surrogate's accuracy claim from the
+// issue: fitted over the full calibration set — all 13 workloads on
+// both Table II presets — the analytic model predicts total DRAM
+// cycles within 10% relative error on every single (config, workload)
+// pair. The pruning margin derivation (2 x max rel err, floored at
+// 10%) is sound only while this holds.
+func TestSurrogateErrorBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cycle-accurate calibration in -short mode")
+	}
+	cal, err := Calibrate(context.Background(), seda.NPUPresets(), model.All(), memprot.SchemeSeDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fit: alpha=%.4f beta=%.4f maxRelErr=%.4f", cal.Alpha, cal.Beta, cal.MaxRelErr)
+	for _, p := range cal.Points {
+		t.Logf("%-8s %-6s actual=%14.0f est=%14.0f relerr=%.4f",
+			p.NPU, p.Workload, p.Actual, p.Est, p.RelErr)
+		if p.RelErr > 0.10 {
+			t.Errorf("%s/%s: surrogate rel err %.4f > 0.10", p.NPU, p.Workload, p.RelErr)
+		}
+	}
+	if cal.MaxRelErr > 0.10 {
+		t.Errorf("max rel err %.4f > 0.10", cal.MaxRelErr)
+	}
+}

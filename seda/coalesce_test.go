@@ -60,11 +60,11 @@ func TestCoalescedOverlaysDRAMEquivalence(t *testing.T) {
 						t.Errorf("%s/%s/%s layer %d: overhead diverged: raw %+v coalesced %+v",
 							npu.Name, name, scheme.Name(), i, rpl.Overhead, cpl.Overhead)
 					}
-					a, err := dram.New(npu.dramConfig())
+					a, err := dram.New(npu.DRAMConfig())
 					if err != nil {
 						t.Fatal(err)
 					}
-					b, err := dram.New(npu.dramConfig())
+					b, err := dram.New(npu.DRAMConfig())
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -158,7 +158,7 @@ func TestRunNetworkMatchesRawOverlays(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k, prot := range raws {
-		dsim, err := dram.New(npu.dramConfig())
+		dsim, err := dram.New(npu.DRAMConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,9 +188,9 @@ func TestRunNetworkMatchesRawOverlays(t *testing.T) {
 // equivalence rests on would not apply.
 func TestCoalesceQuantumCoversNPUBursts(t *testing.T) {
 	for _, npu := range []NPUConfig{ServerNPU(), EdgeNPU()} {
-		if trace.CoalesceQuantum%npu.dramConfig().BurstBytes != 0 {
+		if trace.CoalesceQuantum%npu.DRAMConfig().BurstBytes != 0 {
 			t.Errorf("%s: burst %dB does not divide the coalescing quantum %dB",
-				npu.Name, npu.dramConfig().BurstBytes, trace.CoalesceQuantum)
+				npu.Name, npu.DRAMConfig().BurstBytes, trace.CoalesceQuantum)
 		}
 	}
 }

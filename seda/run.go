@@ -171,7 +171,7 @@ func safeRatio(num, den float64) float64 {
 // double-buffers, so within a layer compute and DRAM overlap, but
 // layer boundaries synchronize.
 func runScheme(ctx context.Context, npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, prot *memprot.Result, opts SuiteOptions) (RunResult, error) {
-	dsim, err := dram.New(npu.dramConfig())
+	dsim, err := dram.New(npu.DRAMConfig())
 	if err != nil {
 		return RunResult{}, err
 	}

@@ -48,16 +48,16 @@ func TestNPUValidate(t *testing.T) {
 func TestDRAMTimingDerivation(t *testing.T) {
 	// Server: 20 GB/s over 4 channels at 1 GHz -> 64B burst in
 	// 64/(5e9) s = 12.8 accelerator cycles.
-	cfg := ServerNPU().dramConfig()
+	cfg := ServerNPU().DRAMConfig()
 	if cfg.TBurst != 12 {
 		t.Errorf("server TBurst = %d, want 12 (12.8 truncated)", cfg.TBurst)
 	}
 	// Edge: 2.5 GB/s per channel at 2.75 GHz -> 70.4 cycles.
-	cfg = EdgeNPU().dramConfig()
+	cfg = EdgeNPU().DRAMConfig()
 	if cfg.TBurst != 70 {
 		t.Errorf("edge TBurst = %d, want 70", cfg.TBurst)
 	}
-	if cfg.TCL <= ServerNPU().dramConfig().TCL {
+	if cfg.TCL <= ServerNPU().DRAMConfig().TCL {
 		t.Error("edge CAS latency (in faster clocks) should exceed server's")
 	}
 }
