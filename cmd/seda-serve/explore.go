@@ -60,6 +60,13 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if maxPoints <= 0 {
 		maxPoints = DefaultMaxExplorePoints
 	}
+	// Enforce the cap before the If-None-Match short-circuit: the cap is
+	// operator state the ETag does not bind, so a client revalidating a
+	// grid the server no longer accepts must see the 400, not a 304.
+	if n := spec.NumPoints(); n > maxPoints {
+		badRequest(w, "grid has %d points, limit %d (narrow the spec or raise -max-explore-points)", n, maxPoints)
+		return
+	}
 
 	baseName := q.Get("base")
 	if baseName == "" {

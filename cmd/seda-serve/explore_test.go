@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/explore"
+	"repro/internal/memprot"
 	"repro/seda"
 )
 
@@ -118,7 +120,10 @@ func TestExploreEndpointBadRequests(t *testing.T) {
 }
 
 // TestExploreEndpointGridCap: the server-side grid cap answers 400,
-// not a long evaluation.
+// not a long evaluation — even when the client presents the matching
+// ETag from before an operator lowered the cap (the cap check runs
+// ahead of the If-None-Match short-circuit, so no 304 can revive a
+// grid the server no longer accepts).
 func TestExploreEndpointGridCap(t *testing.T) {
 	_, cache := testHandler(t)
 	sv := newServer(cache, seda.DefaultSuiteOptions(), 0)
@@ -126,5 +131,25 @@ func TestExploreEndpointGridCap(t *testing.T) {
 	rec := doReq(t, sv.handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let", nil)
 	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "limit 2") {
 		t.Fatalf("got %d %q, want 400 with grid-size rejection", rec.Code, rec.Body.String())
+	}
+
+	// The ETag a larger-cap server would have issued for this grid.
+	spec, err := explore.ParseSpec("channels=1|2|4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := parseWorkloads("let")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := seda.NPUByName("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	etag := exploreETag(spec, base, nets, memprot.SchemeSeDA, 0, false)
+	rec = doReq(t, sv.handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let",
+		map[string]string{"If-None-Match": etag})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("revalidation under lowered cap: got %d, want 400", rec.Code)
 	}
 }

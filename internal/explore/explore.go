@@ -188,8 +188,15 @@ func Run(ctx context.Context, spec *Spec, base seda.NPUConfig, opts Options) (*R
 	}
 
 	// Partition the grid: invalid geometries (a cross product can build
-	// some) are counted and dropped, the rest explored.
-	for _, cfg := range spec.Points(base) {
+	// some) are counted and dropped, the rest explored. Validation is
+	// the first per-point work, so honor cancellation here too — a
+	// request timeout must not wait for the surrogate pass to notice.
+	for i, cfg := range spec.Points(base) {
+		if i&0xff == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if cfg.Validate() != nil {
 			res.Invalid++
 			continue
@@ -217,7 +224,13 @@ func Run(ctx context.Context, spec *Spec, base seda.NPUConfig, opts Options) (*R
 		res.Margin = math.Max(2*cal.MaxRelErr, DefaultMargin)
 	}
 	if res.Margin >= 1 {
-		return nil, fmt.Errorf("explore: margin %.3f leaves no pruning power (calibration max rel err %.3f): %w", res.Margin, cal.MaxRelErr, ErrUsage)
+		// ErrUsage only when the caller chose the margin; a derived
+		// margin this wide means the calibration fit failed, which is a
+		// pipeline-side condition, not a bad request.
+		if opts.Margin > 0 {
+			return nil, fmt.Errorf("explore: margin %.3f leaves no pruning power (calibration max rel err %.3f): %w", res.Margin, cal.MaxRelErr, ErrUsage)
+		}
+		return nil, fmt.Errorf("explore: derived margin %.3f leaves no pruning power (calibration max rel err %.3f)", res.Margin, cal.MaxRelErr)
 	}
 
 	lower, upper, err := surrogatePass(ctx, res, opts, cal.Model, res.Margin)

@@ -3,6 +3,7 @@ package explore
 import (
 	"bytes"
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -198,6 +199,38 @@ func TestExploreRejectsOversizedGrid(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "limit 4") {
 		t.Fatalf("err = %v, want grid-size rejection", err)
+	}
+}
+
+// TestExploreRejectsOverflowingGrid: a grid whose point count
+// overflows int must still be caught by the MaxPoints guard (the
+// product saturates instead of wrapping to something small), before
+// any attempt to materialize it.
+func TestExploreRejectsOverflowingGrid(t *testing.T) {
+	spec := mustSpec(t, "rows=1:4096:+1,cols=1:4096:+1,sram=1:4096:+1,channels=1:4096:+1,banks=1:4096:+1,window=1:4096:+1")
+	_, err := Run(context.Background(), spec, seda.EdgeNPU(), Options{
+		Workloads: nets(t, "let"),
+		Scheme:    memprot.SchemeSeDA,
+	})
+	if err == nil || !errors.Is(err, ErrUsage) || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want ErrUsage grid-size rejection", err)
+	}
+}
+
+// TestExploreExplicitMarginTooWide: a caller-chosen margin >= 1 is a
+// usage error; the engine must say so before any evaluation.
+func TestExploreExplicitMarginTooWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs cycle-accurately in -short mode")
+	}
+	spec := mustSpec(t, "channels=2|4")
+	_, err := Run(context.Background(), spec, seda.EdgeNPU(), Options{
+		Workloads: nets(t, "let"),
+		Scheme:    memprot.SchemeSeDA,
+		Margin:    1.5,
+	})
+	if err == nil || !errors.Is(err, ErrUsage) || !strings.Contains(err.Error(), "pruning power") {
+		t.Fatalf("err = %v, want ErrUsage margin rejection", err)
 	}
 }
 

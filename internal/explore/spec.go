@@ -296,10 +296,16 @@ func (s *Spec) Canonical() string {
 	return b.String()
 }
 
-// NumPoints returns the grid size (product of axis lengths).
+// NumPoints returns the grid size (product of axis lengths),
+// saturating at math.MaxInt: a cross product of maximal axes
+// (maxAxisValues^len(axisTable)) overflows int, and a wrapped product
+// would slip past the MaxPoints guard and materialize the whole grid.
 func (s *Spec) NumPoints() int {
 	n := 1
 	for _, ax := range s.axes {
+		if n > math.MaxInt/len(ax.values) {
+			return math.MaxInt
+		}
 		n *= len(ax.values)
 	}
 	return n

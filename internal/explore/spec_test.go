@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -71,6 +72,20 @@ func TestParseSpecErrors(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.errWant) {
 			t.Errorf("%q: err %q, want it to contain %q", tc.in, err, tc.errWant)
 		}
+	}
+}
+
+// TestNumPointsSaturates: a maximal cross product (six axes of
+// maxAxisValues values each is 2^72 points) must saturate at
+// math.MaxInt rather than wrap — a wrapped product would pass the
+// MaxPoints guard and let one request materialize the whole grid.
+func TestNumPointsSaturates(t *testing.T) {
+	s, err := ParseSpec("rows=1:4096:+1,cols=1:4096:+1,sram=1:4096:+1,channels=1:4096:+1,banks=1:4096:+1,window=1:4096:+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumPoints(); got != math.MaxInt {
+		t.Errorf("NumPoints = %d, want math.MaxInt saturation", got)
 	}
 }
 
