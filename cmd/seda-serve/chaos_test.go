@@ -50,9 +50,8 @@ func TestChaosHandlerPanicRecovered(t *testing.T) {
 	if rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=ncf", nil); rec.Code != http.StatusOK {
 		t.Fatalf("post-panic request: status %d", rec.Code)
 	}
-	body := doReq(t, h, "/metrics", nil).Body.String()
-	if !strings.Contains(body, "seda_panics_total 1") {
-		t.Fatalf("metrics missing the recovered panic:\n%s", body)
+	if got := metricValue(t, scrapeMetrics(t, h), "seda_panics_total"); got != 1 {
+		t.Fatalf("seda_panics_total = %v, want 1 (the recovered panic)", got)
 	}
 }
 
@@ -74,9 +73,8 @@ func TestChaosComputePanicAnswers500(t *testing.T) {
 	if rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=ncf", nil); rec.Code != http.StatusOK {
 		t.Fatalf("server did not recover: status %d", rec.Code)
 	}
-	body := doReq(t, h, "/metrics", nil).Body.String()
-	if !strings.Contains(body, "seda_panics_total 1") {
-		t.Fatalf("metrics missing the compute panic:\n%s", body)
+	if got := metricValue(t, scrapeMetrics(t, h), "seda_panics_total"); got != 1 {
+		t.Fatalf("seda_panics_total = %v, want 1 (the compute panic)", got)
 	}
 }
 
@@ -202,15 +200,7 @@ func TestChaosDiskFaultsStillServe(t *testing.T) {
 	if rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=ncf", nil); rec.Code != http.StatusOK {
 		t.Fatalf("sweep with dead disk: status %d", rec.Code)
 	}
-	body := doReq(t, h, "/metrics", nil).Body.String()
-	if !strings.Contains(body, "seda_cache_disk_errors_total") {
-		t.Fatalf("metrics missing seda_cache_disk_errors_total:\n%s", body)
-	}
-	for _, line := range strings.Split(body, "\n") {
-		if strings.HasPrefix(line, "seda_cache_disk_errors_total ") {
-			if strings.TrimPrefix(line, "seda_cache_disk_errors_total ") == "0" {
-				t.Fatalf("disk faults not counted:\n%s", body)
-			}
-		}
+	if got := metricValue(t, scrapeMetrics(t, h), "seda_cache_disk_errors_total"); got == 0 {
+		t.Fatal("disk faults not counted in seda_cache_disk_errors_total")
 	}
 }

@@ -30,19 +30,19 @@ const DefaultMaxExplorePoints = 2048
 
 // handleExplore answers
 //
-//	/v1/explore?spec=rows=16:64:2x,channels=2|4[&base=edge][&workloads=let,ncf]
-//	           [&scheme=SeDA][&margin=0.1][&format=csv]
+//		/v1/explore?spec=rows=16:64:2x,channels=2|4[&base=edge][&workloads=let,ncf]
+//		           [&scheme=SeDA][&margin=0.1][&format=csv]
 //
-//   - spec (required) is the grid specification, axes comma-separated:
-//     rows=16:256:2x,channels=2|4. See internal/explore.ParseSpec.
-//   - base names the platform preset the grid perturbs (default edge).
-//   - workloads optionally restricts the objective to a comma-separated
-//     subset (default: the full benchmark suite).
-//   - scheme selects the protection scheme explored under (default SeDA).
-//   - margin overrides the surrogate's pruning margin, 0 < m < 1
-//     (default: derived from the calibration error).
-//   - The body is CSV when the request asks for it (Accept: text/csv or
-//     ?format=csv), JSON otherwise.
+//	  - spec (required) is the grid specification, axes comma-separated:
+//	    rows=16:256:2x,channels=2|4. See internal/explore.ParseSpec.
+//	  - base names the platform preset the grid perturbs (default edge).
+//	  - workloads optionally restricts the objective to a comma-separated
+//	    subset (default: the full benchmark suite).
+//	  - scheme selects the protection scheme explored under (default SeDA).
+//	  - margin overrides the surrogate's pruning margin, 0 < m < 1
+//	    (default: derived from the calibration error).
+//	  - The body is CSV when the request asks for it (Accept: text/csv or
+//	    ?format=csv), JSON otherwise.
 func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 

@@ -32,17 +32,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/seda"
 )
+
+// debugHandler serves the profiling surface bound (only) to
+// -debug-addr: the full net/http/pprof family. It is a separate mux on
+// a separate listener so the serving port never exposes profiling —
+// the debug listener is opt-in and meant to stay on localhost.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port)")
@@ -59,7 +76,23 @@ func main() {
 	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline in the result cache; a stuck evaluation frees its slot at expiry (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	maxExplorePoints := flag.Int("max-explore-points", DefaultMaxExplorePoints, "largest grid /v1/explore accepts (points before validation)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for the pprof profiling surface (empty = disabled; keep it on localhost)")
+	debugAddrFile := flag.String("debug-addr-file", "", "write the actual debug listen address to this file once bound (for -debug-addr with port 0)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		b := obs.ReadBuild()
+		dirty := ""
+		if b.Dirty {
+			dirty = " (dirty)"
+		}
+		fmt.Printf("seda-serve %s revision %s%s pipeline %s %s\n",
+			b.ModuleVersion, b.Revision, dirty, seda.PipelineVersion, b.GoVersion)
+		return
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 
 	// Chaos-test fault sites arm from the environment, e.g.
 	// SEDA_FAILPOINTS='rescache.compute=sleep(30s)'. Unset means every
@@ -95,13 +128,39 @@ func main() {
 			fatal(err)
 		}
 	}
-	if dir != "" {
-		fmt.Fprintf(os.Stderr, "seda-serve: disk cache at %s\n", dir)
-	}
-	fmt.Fprintf(os.Stderr, "seda-serve: listening on http://%s\n", bound)
 
 	sv := newServer(cache, opts, *requestTimeout)
 	sv.maxExplore = *maxExplorePoints
+	sv.log = logger
+	if dir != "" {
+		logger.Info("disk cache enabled", slog.String("dir", dir))
+	}
+	logger.Info("listening",
+		slog.String("addr", bound),
+		slog.String("version", sv.build.ModuleVersion),
+		slog.String("revision", sv.build.Revision),
+		slog.String("pipeline", seda.PipelineVersion),
+		slog.String("go", sv.build.GoVersion),
+	)
+
+	// The profiling surface gets its own listener and server: profiles
+	// and traces never share a port with (or leak onto) the public API.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		dbound := dln.Addr().String()
+		if *debugAddrFile != "" {
+			if err := os.WriteFile(*debugAddrFile, []byte(dbound), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		logger.Info("debug listener (pprof)", slog.String("addr", dbound))
+		dsrv := &http.Server{Handler: debugHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go dsrv.Serve(dln) //nolint:errcheck // best-effort surface, dies with the process
+	}
+
 	srv := &http.Server{
 		Handler:           sv.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -125,14 +184,15 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
-		fmt.Fprintln(os.Stderr, "seda-serve: shutting down, draining in-flight requests")
+		logger.Info("shutting down, draining in-flight requests",
+			slog.Duration("grace", *shutdownGrace))
 		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			fmt.Fprintln(os.Stderr, "seda-serve: forced exit with requests in flight:", err)
+			logger.Error("forced exit with requests in flight", slog.Any("err", err))
 			os.Exit(1)
 		}
-		fmt.Fprintln(os.Stderr, "seda-serve: drained")
+		logger.Info("drained")
 	}
 }
 

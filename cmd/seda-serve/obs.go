@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/seda"
+)
+
+// serverMetrics is the server's Prometheus registry. Two kinds of
+// series live here:
+//
+//   - Native instruments (the duration histograms) observed on the
+//     request path.
+//   - Mirror counters and gauges for state owned elsewhere — the
+//     request/panic counters on server and the cache's Stats. Those are
+//     Set from ONE snapshot per scrape in handleMetrics, so a scrape is
+//     internally consistent (hits+misses+coalesced accounting from the
+//     same instant) and the scrape path takes the cache lock exactly
+//     once.
+//
+// Series names predate this registry (the CI smoke job and dashboards
+// grep them), so they are frozen: seda_cache_* and
+// seda_http_requests_total keep their PR 5 spellings.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	reqDur     *obs.HistogramVec // by route pattern
+	stageDur   *obs.HistogramVec // by pipeline stage (fed by Tracer.OnEnd)
+	computeDur *obs.Histogram    // rescache compute executions only
+
+	httpReqs   *obs.Counter
+	panics     *obs.Counter
+	shed       *obs.Counter
+	hits       *obs.Counter
+	diskHits   *obs.Counter
+	coalesced  *obs.Counter
+	misses     *obs.Counter
+	errors     *obs.Counter
+	diskErrors *obs.Counter
+	entries    *obs.Gauge
+	inflight   *obs.Gauge
+
+	runtime *obs.RuntimeGauges
+}
+
+func newServerMetrics(build obs.Build) *serverMetrics {
+	r := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: r,
+		reqDur: r.HistogramVec("seda_request_duration_seconds",
+			"HTTP request latency by route", "route", obs.DurationBuckets),
+		stageDur: r.HistogramVec("seda_stage_duration_seconds",
+			"pipeline stage latency by stage (span durations)", "stage", obs.DurationBuckets),
+		computeDur: r.Histogram("seda_compute_duration_seconds",
+			"result-cache compute execution latency (cold pipeline evaluations)", obs.DurationBuckets),
+
+		httpReqs: r.Counter("seda_http_requests_total",
+			"HTTP requests received"),
+		panics: r.Counter("seda_panics_total",
+			"panics recovered (handler middleware + cache computations)"),
+		shed: r.Counter("seda_cache_shed_total",
+			"sweep evaluations shed at the bounded compute capacity"),
+		hits: r.Counter("seda_cache_hits_total",
+			"sweep lookups served from the in-memory cache"),
+		diskHits: r.Counter("seda_cache_disk_hits_total",
+			"sweep lookups served from the disk cache"),
+		coalesced: r.Counter("seda_cache_coalesced_total",
+			"sweep lookups coalesced onto an in-flight evaluation"),
+		misses: r.Counter("seda_cache_misses_total",
+			"sweep lookups that ran a fresh pipeline evaluation"),
+		errors: r.Counter("seda_cache_errors_total",
+			"pipeline evaluations that failed"),
+		diskErrors: r.Counter("seda_cache_disk_errors_total",
+			"disk cache IO failures and integrity-check rejections (reads + writes)"),
+		entries: r.Gauge("seda_cache_entries",
+			"entries resident in the in-memory cache"),
+		inflight: r.Gauge("seda_cache_inflight",
+			"pipeline evaluations currently executing"),
+
+		runtime: obs.NewRuntimeGauges(r),
+	}
+	r.Gauge("seda_build_info",
+		"build identity; always 1, the labels carry the information",
+		obs.Label{Name: "go_version", Value: build.GoVersion},
+		obs.Label{Name: "module_version", Value: build.ModuleVersion},
+		obs.Label{Name: "revision", Value: build.Revision},
+		obs.Label{Name: "pipeline", Value: seda.PipelineVersion},
+	).Set(1)
+	return m
+}
+
+// observeStage is the Tracer.OnEnd hook: every span that ends during a
+// request lands in the per-stage histogram, and compute spans (cold
+// pipeline evaluations inside the result cache) additionally feed the
+// dedicated compute histogram the capacity alerts watch.
+func (s *server) observeStage(name string, d time.Duration) {
+	s.metrics.stageDur.With(name).Observe(d.Seconds())
+	if name == obs.StageCompute {
+		s.metrics.computeDur.Observe(d.Seconds())
+	}
+}
+
+// newRequestID returns the caller's X-Request-Id when present (so IDs
+// correlate across services) or a fresh 16-hex-digit one.
+func newRequestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 128 {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth failing a request over; a
+		// constant ID still tags the logs.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// respWriter observes the status and size of a response on its way
+// out, and in timing mode (?debug=timing) holds the body in memory so
+// the X-Seda-Timing trailer-like header can be stamped after the
+// handler finishes — trace data isn't known until then, and headers
+// cannot follow the body on the wire.
+type respWriter struct {
+	http.ResponseWriter
+	status      int
+	bytes       int
+	wroteHeader bool
+	buf         *bytes.Buffer // non-nil only in timing mode
+}
+
+func (rw *respWriter) WriteHeader(code int) {
+	if rw.wroteHeader {
+		return
+	}
+	rw.wroteHeader = true
+	rw.status = code
+	if rw.buf == nil {
+		rw.ResponseWriter.WriteHeader(code)
+	}
+}
+
+func (rw *respWriter) Write(p []byte) (int, error) {
+	if !rw.wroteHeader {
+		rw.WriteHeader(http.StatusOK)
+	}
+	rw.bytes += len(p)
+	if rw.buf != nil {
+		return rw.buf.Write(p)
+	}
+	return rw.ResponseWriter.Write(p)
+}
+
+// flush releases a buffered (timing-mode) response to the client.
+func (rw *respWriter) flush() {
+	if rw.buf == nil {
+		return
+	}
+	if !rw.wroteHeader {
+		rw.status = http.StatusOK
+	}
+	rw.ResponseWriter.WriteHeader(rw.status)
+	rw.ResponseWriter.Write(rw.buf.Bytes()) //nolint:errcheck // client gone mid-stream
+}
+
+// wantTiming reports whether the request opted into the span-tree
+// debug header.
+func wantTiming(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "timing"
+}

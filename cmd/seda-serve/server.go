@@ -1,12 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,6 +19,7 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/seda"
 )
@@ -40,6 +44,10 @@ type server struct {
 	maxExplore int           // /v1/explore grid-size cap; 0 = DefaultMaxExplorePoints
 	reqs       atomic.Uint64
 	panics     atomic.Uint64 // handler panics recovered by the middleware
+
+	build   obs.Build
+	metrics *serverMetrics
+	log     *slog.Logger // never nil; newServer defaults to discard
 }
 
 func newServer(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Duration) *server {
@@ -54,84 +62,156 @@ func newServer(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Du
 			opts.Workers = slots
 		}
 	}
-	return &server{cache: cache, opts: opts, reqTimeout: reqTimeout}
+	build := obs.ReadBuild()
+	return &server{
+		cache:      cache,
+		opts:       opts,
+		reqTimeout: reqTimeout,
+		build:      build,
+		metrics:    newServerMetrics(build),
+		log:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	}
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
-	mux.HandleFunc("/metrics", s.get(s.handleMetrics))
-	mux.HandleFunc("/v1/workloads", s.get(s.handleWorkloads))
-	mux.HandleFunc("/v1/schemes", s.get(s.handleSchemes))
-	mux.HandleFunc("/v1/sweep", s.get(s.handleSweep))
-	mux.HandleFunc("/v1/explore", s.get(s.handleExplore))
+	mux.HandleFunc("/healthz", s.get("/healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.get("/metrics", s.handleMetrics))
+	mux.HandleFunc("/v1/workloads", s.get("/v1/workloads", s.handleWorkloads))
+	mux.HandleFunc("/v1/schemes", s.get("/v1/schemes", s.handleSchemes))
+	mux.HandleFunc("/v1/sweep", s.get("/v1/sweep", s.handleSweep))
+	mux.HandleFunc("/v1/explore", s.get("/v1/explore", s.handleExplore))
 	return mux
 }
 
 // get is the per-route middleware: it counts the request, restricts
 // the route to GET/HEAD, bounds it with the server's request deadline
 // (the handler sees the deadline on r.Context(), which also cancels
-// when the client disconnects), and converts handler panics into a 500
-// — counted in seda_panics_total — so one poisoned request cannot take
+// when the client disconnects), tags it with a request ID, traces it
+// (every span that ends feeds the stage histograms; ?debug=timing
+// additionally returns the span tree in X-Seda-Timing), observes its
+// latency in seda_request_duration_seconds under the explicit route
+// pattern (never the raw path — label cardinality stays bounded), logs
+// one structured access line, and converts handler panics into a 500 —
+// counted in seda_panics_total — so one poisoned request cannot take
 // the server down. http.ErrAbortHandler is re-panicked: it is
 // net/http's own "abort this response" signal, not a defect.
-func (s *server) get(h http.HandlerFunc) http.HandlerFunc {
+func (s *server) get(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
+		start := time.Now()
+
+		rid := newRequestID(r)
+		w.Header().Set("X-Request-Id", rid)
+		rw := &respWriter{ResponseWriter: w}
+		timing := wantTiming(r)
+		if timing {
+			rw.buf = new(bytes.Buffer)
+		}
+
+		ctx := obs.WithRequestID(r.Context(), rid)
+		var cancel context.CancelFunc
+		if s.reqTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+			defer cancel()
+		}
+		ctx, tr := obs.NewTracer(ctx, "request")
+		tr.OnEnd = s.observeStage
+		defer tr.Finish()
+		r = r.WithContext(ctx)
+
+		done := func() {
+			tr.Finish() // end the root span before exporting or observing
+			if timing {
+				rw.Header().Set("X-Seda-Timing", string(tr.JSON()))
+				rw.flush()
+			}
+			d := time.Since(start)
+			s.metrics.reqDur.With(route).Observe(d.Seconds())
+			s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.RequestURI()),
+				slog.String("route", route),
+				slog.Int("status", rw.status),
+				slog.Int("bytes", rw.bytes),
+				slog.Duration("duration", d),
+			)
+		}
 		defer func() {
 			if rec := recover(); rec != nil {
 				if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel identity, per net/http docs
 					panic(rec)
 				}
 				s.panics.Add(1)
-				// Best-effort: if the handler already wrote, this is a
-				// no-op on the status line but still ends the response.
-				http.Error(w, "internal error", http.StatusInternalServerError)
+				s.log.LogAttrs(context.Background(), slog.LevelError, "handler panic",
+					slog.String("id", rid),
+					slog.String("route", route),
+					slog.Any("panic", rec),
+				)
+				// Timing mode buffered the whole response, so nothing
+				// has hit the wire yet: discard the partial body and
+				// let the error response start fresh. Otherwise this
+				// is best-effort — a no-op on the status line if the
+				// handler already wrote, but it still ends the response.
+				if rw.buf != nil {
+					rw.buf, rw.wroteHeader, rw.status, rw.bytes = nil, false, 0, 0
+				}
+				http.Error(rw, fmt.Sprintf("internal error (request %s)", rid), http.StatusInternalServerError)
 			}
+			done()
 		}()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
-			w.Header().Set("Allow", "GET, HEAD")
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			rw.Header().Set("Allow", "GET, HEAD")
+			http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		if s.reqTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
-		h(w, r)
+		h(rw, r)
 	}
 }
 
+// handleHealthz answers the liveness probe with the build identity, so
+// one curl tells an operator what is running: module version, VCS
+// revision, pipeline version (the cache-fingerprint epoch), and the Go
+// toolchain.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, struct {
+		Status   string `json:"status"`
+		Version  string `json:"version"`
+		Revision string `json:"revision"`
+		Pipeline string `json:"pipeline"`
+		Go       string `json:"go"`
+	}{
+		Status:   "ok",
+		Version:  s.build.ModuleVersion,
+		Revision: s.build.Revision,
+		Pipeline: seda.PipelineVersion,
+		Go:       s.build.GoVersion,
+	})
 }
 
-// handleMetrics exposes the cache and request counters in the
-// Prometheus text format.
+// handleMetrics exposes the registry in the Prometheus text format.
+// State owned outside the registry — the request/panic counters and
+// the cache statistics — is mirrored in from exactly one Stats
+// snapshot per scrape, so every seda_cache_* series in one scrape
+// describes the same instant.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.cache.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	type metric struct {
-		name, kind, help string
-		value            uint64
-	}
-	for _, m := range []metric{
-		{"seda_http_requests_total", "counter", "HTTP requests received", s.reqs.Load()},
-		{"seda_panics_total", "counter", "panics recovered (handler middleware + cache computations)", s.panics.Load() + st.Panics},
-		{"seda_cache_shed_total", "counter", "sweep evaluations shed at the bounded compute capacity", st.Shed},
-		{"seda_cache_hits_total", "counter", "sweep lookups served from the in-memory cache", st.Hits},
-		{"seda_cache_disk_hits_total", "counter", "sweep lookups served from the disk cache", st.DiskHits},
-		{"seda_cache_coalesced_total", "counter", "sweep lookups coalesced onto an in-flight evaluation", st.Coalesced},
-		{"seda_cache_misses_total", "counter", "sweep lookups that ran a fresh pipeline evaluation", st.Computes},
-		{"seda_cache_errors_total", "counter", "pipeline evaluations that failed", st.Errors},
-		{"seda_cache_disk_errors_total", "counter", "disk cache IO failures and integrity-check rejections (reads + writes)", st.DiskReadErrors + st.DiskWriteErrors},
-		{"seda_cache_entries", "gauge", "entries resident in the in-memory cache", uint64(st.Entries)},
-		{"seda_cache_inflight", "gauge", "pipeline evaluations currently executing", uint64(st.Inflight)},
-	} {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", m.name, m.help, m.name, m.kind, m.name, m.value)
-	}
+	m := s.metrics
+	m.httpReqs.Set(s.reqs.Load())
+	m.panics.Set(s.panics.Load() + st.Panics)
+	m.shed.Set(st.Shed)
+	m.hits.Set(st.Hits)
+	m.diskHits.Set(st.DiskHits)
+	m.coalesced.Set(st.Coalesced)
+	m.misses.Set(st.Computes)
+	m.errors.Set(st.Errors)
+	m.diskErrors.Set(st.DiskReadErrors + st.DiskWriteErrors)
+	m.entries.Set(float64(st.Entries))
+	m.inflight.Set(float64(st.Inflight))
+	m.runtime.Collect()
+	w.Header().Set("Content-Type", obs.PromContentType)
+	m.reg.WriteProm(w) //nolint:errcheck // client gone mid-stream
 }
 
 func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {

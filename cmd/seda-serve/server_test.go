@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/seda"
 )
@@ -41,8 +42,19 @@ func doReq(t *testing.T, h http.Handler, url string, hdr map[string]string) *htt
 func TestHealthz(t *testing.T) {
 	h, _ := testHandler(t)
 	rec := doReq(t, h, "/healthz", nil)
-	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+	if rec.Code != http.StatusOK {
 		t.Fatalf("healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Status   string `json:"status"`
+		Pipeline string `json:"pipeline"`
+		Go       string `json:"go"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("healthz body: %v\n%s", err, rec.Body.String())
+	}
+	if out.Status != "ok" || out.Pipeline != seda.PipelineVersion || out.Go == "" {
+		t.Fatalf("healthz build info: %+v", out)
 	}
 }
 
@@ -251,25 +263,103 @@ func TestSweepConcurrentSingleflight(t *testing.T) {
 	}
 }
 
+// scrapeMetrics fetches /metrics and runs the body through the strict
+// exposition parser plus the naming linter, so every test that touches
+// the endpoint also proves the output is well-formed — a substring
+// match can't tell a dangling HELP line from a real series.
+func scrapeMetrics(t *testing.T, h http.Handler) map[string]*obs.PromFamily {
+	t.Helper()
+	rec := doReq(t, h, "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	fams, err := obs.ParseProm(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("metrics body does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if problems := obs.LintProm(fams); len(problems) > 0 {
+		t.Fatalf("metrics lint: %v", problems)
+	}
+	return fams
+}
+
+// metricValue asserts the family exists and returns its unlabeled
+// sample's value.
+func metricValue(t *testing.T, fams map[string]*obs.PromFamily, name string) float64 {
+	t.Helper()
+	fam, ok := fams[name]
+	if !ok {
+		t.Fatalf("metrics missing family %s", name)
+	}
+	v, err := fam.Value(name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	h, _ := testHandler(t)
 	doReq(t, h, "/v1/sweep?fig=5b&workloads=let", nil) // miss
 	doReq(t, h, "/v1/sweep?fig=5b&workloads=let", nil) // hit
-	rec := doReq(t, h, "/metrics", nil)
-	if rec.Code != http.StatusOK {
-		t.Fatalf("status %d", rec.Code)
-	}
-	body := rec.Body.String()
-	for _, want := range []string{
-		"seda_http_requests_total 3",
-		"seda_cache_misses_total 1",
-		"seda_cache_hits_total 1",
-		"seda_cache_entries 1",
-		"seda_cache_inflight 0",
+	fams := scrapeMetrics(t, h)
+	for name, want := range map[string]float64{
+		"seda_http_requests_total": 3,
+		"seda_cache_misses_total":  1,
+		"seda_cache_hits_total":    1,
+		"seda_cache_entries":       1,
+		"seda_cache_inflight":      0,
+		"seda_cache_shed_total":    0,
+		"seda_panics_total":        0,
+		"seda_cache_errors_total":  0,
 	} {
-		if !strings.Contains(body, want) {
-			t.Errorf("metrics missing %q:\n%s", want, body)
+		if got := metricValue(t, fams, name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
 		}
+	}
+
+	// Build identity rides along as a constant-1 gauge whose labels
+	// carry the information.
+	bi, ok := fams["seda_build_info"]
+	if !ok {
+		t.Fatal("metrics missing seda_build_info")
+	}
+	if len(bi.Samples) != 1 {
+		t.Fatalf("seda_build_info: want 1 sample, got %+v", bi.Samples)
+	}
+	if s := bi.Samples[0]; s.Value != 1 || s.Labels["pipeline"] != seda.PipelineVersion ||
+		s.Labels["go_version"] == "" || s.Labels["revision"] == "" {
+		t.Fatalf("seda_build_info: %+v", bi.Samples[0])
+	}
+
+	// The two sweeps and the scrape itself land in the request
+	// histogram under their route patterns; the cold sweep also runs
+	// pipeline stages and a cache compute.
+	reqs, ok := fams["seda_request_duration_seconds"]
+	if !ok {
+		t.Fatal("metrics missing seda_request_duration_seconds")
+	}
+	if n, err := reqs.HistCount(map[string]string{"route": "/v1/sweep"}); err != nil || n != 2 {
+		t.Fatalf("request histogram route=/v1/sweep count %v err %v, want 2", n, err)
+	}
+	stages, ok := fams["seda_stage_duration_seconds"]
+	if !ok {
+		t.Fatal("metrics missing seda_stage_duration_seconds")
+	}
+	for _, stage := range []string{obs.StageSuite, obs.StageWorkload, obs.StageScalesim, obs.StageProtect, obs.StageDRAM, obs.StageCompute} {
+		if n, err := stages.HistCount(map[string]string{"stage": stage}); err != nil || n == 0 {
+			t.Errorf("stage histogram %s count %v err %v, want > 0", stage, n, err)
+		}
+	}
+	comp, ok := fams["seda_compute_duration_seconds"]
+	if !ok {
+		t.Fatal("metrics missing seda_compute_duration_seconds")
+	}
+	if n, err := comp.HistCount(nil); err != nil || n != 1 {
+		t.Fatalf("compute histogram count %v err %v, want 1", n, err)
 	}
 }
 
@@ -325,7 +415,7 @@ func TestServerOverTCP(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
 		t.Fatalf("healthz over TCP: %d %q", resp.StatusCode, body)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/seda"
 )
 
@@ -25,12 +26,23 @@ func main() {
 	npuName := flag.String("npu", "server", "npu config: server or edge")
 	table1 := flag.Bool("table1", false, "print Table I (multi-level granularity comparison) and exit")
 	seq := flag.Bool("seq", false, "force the fully sequential pipeline (one goroutine end to end)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the evaluation to this file (pair with -seq for a single-goroutine profile)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
+	timing := flag.Bool("timing", false, "print the pipeline span tree (per-stage wall times) to stderr as JSON when done")
 	flag.Parse()
 
 	if *table1 {
 		printTable1()
 		return
 	}
+
+	profiles, err := obs.StartProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seda-sim:", err)
+		os.Exit(1)
+	}
+	defer profiles.Stop() //nolint:errcheck
 
 	var npu seda.NPUConfig
 	switch *npuName {
@@ -58,8 +70,17 @@ func main() {
 	// run to completion; a second signal kills outright.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timing {
+		var tr *obs.Tracer
+		ctx, tr = obs.NewTracer(ctx, "seda-sim")
+		defer func() {
+			tr.Finish()
+			tr.WriteJSON(os.Stderr, true) //nolint:errcheck
+		}()
+	}
 	rows, err := seda.RunNetworkOptsCtx(ctx, npu, net, opts)
 	if err != nil {
+		profiles.Stop() //nolint:errcheck // os.Exit skips the defer
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "seda-sim: interrupted")
 			os.Exit(130) // conventional 128+SIGINT

@@ -16,7 +16,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"runtime/pprof"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -24,6 +23,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/seda"
 )
@@ -37,6 +37,9 @@ func main() {
 	useCache := flag.Bool("cache", false, "memoize sweep results through the content-addressed cache (warm-start reruns)")
 	cacheDir := flag.String("cache-dir", "auto", "disk cache directory with -cache; \"auto\" = <user cache dir>/seda-repro (shared with seda-serve), \"off\" = memory only")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file (the hot-path work of PRs 1–5 was steered by exactly this view; pair with -seq for a single-goroutine profile)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
+	timing := flag.Bool("timing", false, "print the pipeline span tree (per-stage wall times) to stderr as JSON when done")
 	exploreSpec := flag.String("explore", "", "run a design-space exploration over this grid spec (e.g. 'rows=16:256:2x,channels=2|4') instead of regenerating figures")
 	exploreBase := flag.String("base", "edge", "with -explore: platform preset the grid perturbs")
 	exploreWorkloads := flag.String("workloads", "", "with -explore: comma-separated workload subset (default: the full suite)")
@@ -48,18 +51,12 @@ func main() {
 		return
 	}
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close() //nolint:errcheck
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		profileFile = f
-		defer pprof.StopCPUProfile()
+	var err error
+	profiles, err = obs.StartProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		fatal(err)
 	}
+	defer profiles.Stop() //nolint:errcheck
 
 	opts := seda.DefaultSuiteOptions()
 	opts.Workers = *workers
@@ -93,6 +90,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -timing arms a tracer over everything that runs below; the tree
+	// prints to stderr on the success path (fatal exits skip it).
+	if *timing {
+		var tr *obs.Tracer
+		ctx, tr = obs.NewTracer(ctx, "seda-sweep")
+		defer func() {
+			tr.Finish()
+			tr.WriteJSON(os.Stderr, true) //nolint:errcheck
+		}()
+	}
+
 	if *exploreSpec != "" {
 		if err := runExplore(ctx, cache, opts, *exploreSpec, *exploreBase, *exploreWorkloads, *exploreScheme, *jsonOut); err != nil {
 			fatal(err)
@@ -101,7 +109,6 @@ func main() {
 	}
 
 	var srv, edg *seda.SuiteResult
-	var err error
 	if needServer {
 		if srv, err = seda.RunSuiteCachedCtx(ctx, cache, server, model.All(), opts); err != nil {
 			fatal(err)
@@ -270,15 +277,13 @@ func check(b bool) string {
 	return "no"
 }
 
-// profileFile is the -cpuprofile output, kept so fatal can flush it:
-// os.Exit skips defers, and an unflushed pprof file is truncated junk.
-var profileFile *os.File
+// profiles holds the -cpuprofile/-memprofile/-trace outputs, kept so
+// fatal can flush them: os.Exit skips defers, and an unflushed pprof
+// file is truncated junk.
+var profiles *obs.Profiles
 
 func fatal(err error) {
-	if profileFile != nil {
-		pprof.StopCPUProfile()
-		profileFile.Close() //nolint:errcheck
-	}
+	profiles.Stop() //nolint:errcheck
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "seda-sweep: interrupted")
 		os.Exit(130) // conventional 128+SIGINT

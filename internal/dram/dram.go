@@ -46,6 +46,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -459,6 +460,11 @@ func (s *Simulator) RunOverlayCtx(ctx context.Context, spine *trace.Trace, delta
 // context.Background) adds no work to the hot loop beyond one nil
 // compare per check.
 func (s *Simulator) run(ctx context.Context, iter func(yield func(*trace.Access))) (Stats, error) {
+	// One span per drain, opened before the explode passes: the span
+	// machinery must stay out of the per-pick loops (an earlier
+	// per-pick ctx poll cost ~20% on BenchmarkRunTrace; see PR 6).
+	osp := obs.StartChild(ctx, obs.StageDRAMDrain)
+	defer osp.End()
 	st := Stats{ChanCycles: make([]uint64, s.cfg.Channels)}
 	rs := s.getState()
 	defer s.statePool().Put(rs)

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rescache"
 	"repro/internal/scalesim"
 	"repro/seda"
@@ -214,7 +215,9 @@ func Run(ctx context.Context, spec *Spec, base seda.NPUConfig, opts Options) (*R
 	if len(calCfgs) == 0 {
 		calCfgs = seda.NPUPresets()
 	}
-	cal, err := Calibrate(ctx, calCfgs, opts.Workloads, opts.Scheme)
+	calCtx, calSpan := obs.Start(ctx, obs.StageCalibrate)
+	cal, err := Calibrate(calCtx, calCfgs, opts.Workloads, opts.Scheme)
+	calSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +236,9 @@ func Run(ctx context.Context, spec *Spec, base seda.NPUConfig, opts Options) (*R
 		return nil, fmt.Errorf("explore: derived margin %.3f leaves no pruning power (calibration max rel err %.3f)", res.Margin, cal.MaxRelErr)
 	}
 
-	lower, upper, err := surrogatePass(ctx, res, opts, cal.Model, res.Margin)
+	surCtx, surSpan := obs.Start(ctx, obs.StageSurrogate)
+	lower, upper, err := surrogatePass(surCtx, res, opts, cal.Model, res.Margin)
+	surSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +270,8 @@ func Run(ctx context.Context, spec *Spec, base seda.NPUConfig, opts Options) (*R
 	// (strict < on a cost tie). The dominance rule is the same as the
 	// static pass, only with tighter information, so a true-frontier
 	// point can still never be skipped.
+	ctx, confirmSpan := obs.Start(ctx, obs.StageConfirm)
+	defer confirmSpan.End()
 	order := byCostThenCycles(cost, lower)
 	order = filterTo(order, candidates)
 	var confirmed []int

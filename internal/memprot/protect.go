@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/authblock"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/scalesim"
 	"repro/internal/tiling"
 	"repro/internal/trace"
@@ -123,6 +124,8 @@ func ProtectAllArena(schemes []Scheme, net *scalesim.NetworkResult, opts Options
 // results are released back to the arena (nothing escapes to the
 // caller, who must not Release on error) and ctx.Err() is returned.
 func ProtectAllArenaCtx(ctx context.Context, schemes []Scheme, net *scalesim.NetworkResult, opts Options, arena *Arena) ([]*Result, error) {
+	ctx, span := obs.Start(ctx, obs.StageProtect)
+	defer span.End()
 	ps := make([]*protector, len(schemes))
 	results := make([]*Result, len(schemes))
 	for k, s := range schemes {
@@ -131,7 +134,9 @@ func ProtectAllArenaCtx(ctx context.Context, schemes []Scheme, net *scalesim.Net
 		}
 		ps[k] = newProtector(s, opts)
 		if s.Kind == SeDA {
+			asp := obs.StartChild(ctx, obs.StageAuthblock)
 			ps[k].precomputeSeDABlocks(net)
+			asp.End()
 		}
 		results[k] = &Result{
 			Scheme: s,
@@ -148,6 +153,7 @@ func ProtectAllArenaCtx(ctx context.Context, schemes []Scheme, net *scalesim.Net
 			default:
 			}
 		}
+		lsp := obs.StartChild(ctx, obs.StageProtectLayer)
 		lr := &net.Layers[i]
 		for k := range ps {
 			results[k].Layers[i] = ProtectedLayer{
@@ -166,6 +172,7 @@ func ProtectAllArenaCtx(ctx context.Context, schemes []Scheme, net *scalesim.Net
 		for k := range ps {
 			ps[k].endLayer()
 		}
+		lsp.End()
 	}
 	for k := range ps {
 		ps[k].drain(results[k])

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: Go toolchain, main module
+// version, and VCS revision when the binary was built from a git
+// checkout. Fields the build info does not carry (module version of
+// a plain `go build`, revision of a test binary) are "unknown" so
+// the seda_build_info labels and the -version output never hold
+// empty strings.
+type Build struct {
+	GoVersion     string
+	ModuleVersion string
+	Revision      string
+	Dirty         bool
+}
+
+// ReadBuild extracts Build from debug.ReadBuildInfo.
+func ReadBuild() Build {
+	b := Build{GoVersion: runtime.Version(), ModuleVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.ModuleVersion = v
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) >= 12 {
+				b.Revision = s.Value[:12]
+			} else if s.Value != "" {
+				b.Revision = s.Value
+			}
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// RuntimeGauges is the set of Go runtime series a scrape refreshes:
+// call Collect under the scrape handler just before writing the
+// registry. Pull-time collection keeps the steady state free of any
+// background sampling goroutine.
+type RuntimeGauges struct {
+	Goroutines   *Gauge
+	HeapAlloc    *Gauge
+	HeapSys      *Gauge
+	GCPauseTotal *FloatCounter
+	GCRuns       *Counter
+}
+
+// NewRuntimeGauges registers the runtime series on r.
+func NewRuntimeGauges(r *Registry) *RuntimeGauges {
+	return &RuntimeGauges{
+		Goroutines: r.Gauge("seda_go_goroutines",
+			"Number of live goroutines."),
+		HeapAlloc: r.Gauge("seda_go_heap_alloc_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+		HeapSys: r.Gauge("seda_go_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys)."),
+		GCPauseTotal: r.FloatCounter("seda_go_gc_pause_seconds_total",
+			"Cumulative stop-the-world GC pause time."),
+		GCRuns: r.Counter("seda_go_gc_runs_total",
+			"Completed GC cycles."),
+	}
+}
+
+// Collect refreshes every runtime series from one MemStats read.
+func (rg *RuntimeGauges) Collect() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rg.Goroutines.Set(float64(runtime.NumGoroutine()))
+	rg.HeapAlloc.Set(float64(ms.HeapAlloc))
+	rg.HeapSys.Set(float64(ms.HeapSys))
+	rg.GCPauseTotal.Set(float64(ms.PauseTotalNs) / 1e9)
+	rg.GCRuns.Set(uint64(ms.NumGC))
+}

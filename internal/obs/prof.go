@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rttrace "runtime/trace"
+)
+
+// Profiles owns the profiling outputs of one CLI run: a CPU profile,
+// a heap profile, and an execution trace, each armed only when its
+// path is non-empty. The CLIs share it so the flush discipline lives
+// in one place — os.Exit skips defers, and an unflushed pprof file is
+// truncated junk, so their fatal paths call Stop explicitly.
+type Profiles struct {
+	cpu     *os.File
+	mem     *os.File
+	trace   *os.File
+	stopped bool
+}
+
+// StartProfiles opens and arms the requested outputs. An empty path
+// disables that profile. On error, anything already armed is stopped.
+func StartProfiles(cpuPath, memPath, tracePath string) (*Profiles, error) {
+	p := &Profiles{}
+	fail := func(err error) (*Profiles, error) {
+		p.Stop() //nolint:errcheck
+		return nil, err
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close() //nolint:errcheck
+			return fail(err)
+		}
+		p.cpu = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fail(err)
+		}
+		p.mem = f
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		if err := rttrace.Start(f); err != nil {
+			f.Close() //nolint:errcheck
+			return fail(err)
+		}
+		p.trace = f
+	}
+	return p, nil
+}
+
+// Stop flushes and closes every armed profile. Nil-safe and
+// idempotent, so both the normal defer and an os.Exit-bound fatal
+// path may call it; the second call is a no-op.
+func (p *Profiles) Stop() error {
+	if p == nil || p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		keep(p.cpu.Close())
+	}
+	if p.trace != nil {
+		rttrace.Stop()
+		keep(p.trace.Close())
+	}
+	if p.mem != nil {
+		runtime.GC() // settle the heap so the snapshot reflects live data
+		keep(pprof.WriteHeapProfile(p.mem))
+		keep(p.mem.Close())
+	}
+	return firstErr
+}

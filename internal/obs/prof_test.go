@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfilesWriteAllOutputs(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	tr := filepath.Join(dir, "trace.out")
+
+	p, err := StartProfiles(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profiles have something to say.
+	s := 0
+	for i := 0; i < 1_000_000; i++ {
+		s += i
+	}
+	_ = s
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+
+	for _, path := range []string{cpu, mem, tr} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(path))
+		}
+	}
+}
+
+func TestProfilesDisabledAndNil(t *testing.T) {
+	p, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	var nilP *Profiles
+	if err := nilP.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), "", ""); err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	if _, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+		t.Fatal("want error for unwritable mem profile path")
+	}
+	if _, err := StartProfiles("", "", filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Fatal("want error for unwritable trace path")
+	}
+}

@@ -1,0 +1,88 @@
+// Command promcheck validates a Prometheus text exposition stream on
+// stdin through the strict parser in internal/obs — the CI obs-smoke
+// job pipes `curl /metrics` through it instead of grepping. Exit 0
+// means the stream parses, passes the naming lint, and satisfies
+// every assertion argument:
+//
+//	promcheck [assertion...] < metrics.txt
+//
+//	counter:NAME     family NAME is a counter with value > 0
+//	                 (unlabeled series, or sum over all series)
+//	gauge:NAME       family NAME is a gauge (any value)
+//	hist:NAME        family NAME is a histogram with total
+//	                 observation count > 0 across its series
+//
+// Example:
+//
+//	curl -sf "$ADDR/metrics" | go run repro/internal/obs/promcheck \
+//	  hist:seda_request_duration_seconds counter:seda_http_requests_total
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	fams, err := obs.ParseProm(os.Stdin)
+	if err != nil {
+		fail("exposition parse: %v", err)
+	}
+	if issues := obs.LintProm(fams); len(issues) > 0 {
+		fail("naming lint:\n  %s", strings.Join(issues, "\n  "))
+	}
+	for _, arg := range os.Args[1:] {
+		kind, name, ok := strings.Cut(arg, ":")
+		if !ok {
+			fail("bad assertion %q (want kind:name)", arg)
+		}
+		fam := fams[name]
+		if fam == nil {
+			fail("%s: family not exposed", name)
+		}
+		switch kind {
+		case "counter":
+			if fam.Type != "counter" {
+				fail("%s: type %s, want counter", name, fam.Type)
+			}
+			var sum float64
+			for _, s := range fam.Samples {
+				sum += s.Value
+			}
+			if sum <= 0 {
+				fail("%s: counter is zero", name)
+			}
+		case "gauge":
+			if fam.Type != "gauge" {
+				fail("%s: type %s, want gauge", name, fam.Type)
+			}
+			if len(fam.Samples) == 0 {
+				fail("%s: gauge has no series", name)
+			}
+		case "hist":
+			if fam.Type != "histogram" {
+				fail("%s: type %s, want histogram", name, fam.Type)
+			}
+			var count float64
+			for _, s := range fam.Samples {
+				if s.Name == name+"_count" {
+					count += s.Value
+				}
+			}
+			if count <= 0 {
+				fail("%s: histogram has no observations", name)
+			}
+		default:
+			fail("unknown assertion kind %q", kind)
+		}
+	}
+	fmt.Printf("promcheck: %d families ok, %d assertions pass\n", len(fams), len(os.Args)-1)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

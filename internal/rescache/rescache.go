@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/failpoint"
+	"repro/internal/obs"
 )
 
 // ErrSaturated is returned by GetOrCompute when the cache cannot serve
@@ -225,7 +226,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 
-	blob, ok := c.diskGet(key)
+	blob, ok := c.diskGet(context.Background(), key)
 	if !ok {
 		return nil, false
 	}
@@ -265,6 +266,11 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 // compute receives that detached context and should honor it; the
 // result of a cancelled or failed compute is never cached.
 func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) (blob []byte, hit bool, err error) {
+	// The get span covers the full lookup including a coalesced wait;
+	// disk and compute child spans attach under it from the lead
+	// goroutine via the detached context below.
+	ctx, getSpan := obs.Start(ctx, obs.StageCacheGet)
+	defer getSpan.End()
 	c.mu.Lock()
 	if blob, ok := c.memGetLocked(key); ok {
 		c.mu.Unlock()
@@ -293,7 +299,11 @@ func (c *Cache) GetOrComputeCtx(ctx context.Context, key string, compute func(co
 	// the computation (and everyone coalesced onto it) sheds with
 	// ErrSaturated rather than piling more CPU work behind a growing
 	// tail latency.
-	go c.lead(key, cl, compute)
+	// The lead goroutine gets the observability state of the leader's
+	// context (current span, request ID) but none of its cancellation:
+	// the computation outlives any single waiter by design, while its
+	// spans should still land in the leading request's trace.
+	go c.lead(obs.Detach(ctx), key, cl, compute)
 	return c.wait(ctx, cl, true)
 }
 
@@ -323,27 +333,28 @@ func (c *Cache) wait(ctx context.Context, cl *call, leader bool) ([]byte, bool, 
 }
 
 // lead runs one key's resolution on its own goroutine: disk probe,
-// slot acquisition, compute, accounting, publication.
-func (c *Cache) lead(key string, cl *call, compute func(context.Context) ([]byte, error)) {
-	if diskBlob, ok := c.diskGet(key); ok {
+// slot acquisition, compute, accounting, publication. octx carries
+// only observability state (see GetOrComputeCtx), never cancellation.
+func (c *Cache) lead(octx context.Context, key string, cl *call, compute func(context.Context) ([]byte, error)) {
+	if diskBlob, ok := c.diskGet(octx, key); ok {
 		cl.blob, cl.fromDisk = diskBlob, true
 	} else if c.sem != nil {
 		select {
 		case c.sem <- struct{}{}:
-			c.runCompute(cl, compute)
+			c.runCompute(octx, cl, compute)
 			<-c.sem
 		default:
 			cl.err = ErrSaturated
 		}
 	} else {
-		c.runCompute(cl, compute)
+		c.runCompute(octx, cl, compute)
 	}
 
 	// Write through to disk before publishing, so a caller that
 	// observed the result can rely on the disk entry existing (and a
 	// write failure is already counted when Stats is read).
 	if cl.err == nil && !cl.fromDisk {
-		c.diskPut(key, cl.blob)
+		c.diskPut(octx, key, cl.blob)
 	}
 
 	c.mu.Lock()
@@ -370,8 +381,11 @@ func (c *Cache) lead(key string, cl *call, compute func(context.Context) ([]byte
 // runCompute executes compute under the call's detached context,
 // converting panics into errors so a crashing evaluation cannot take
 // the process down or strand its waiters.
-func (c *Cache) runCompute(cl *call, compute func(context.Context) ([]byte, error)) {
-	ctx := context.Background()
+func (c *Cache) runCompute(octx context.Context, cl *call, compute func(context.Context) ([]byte, error)) {
+	// octx (a Detach product) contributes spans and the request ID but
+	// no deadline, so the compute lifetime rules are exactly as before:
+	// ComputeTimeout or explicit abandonment, nothing else.
+	ctx := octx
 	var cancel context.CancelFunc
 	if c.computeTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, c.computeTimeout)
@@ -379,6 +393,8 @@ func (c *Cache) runCompute(cl *call, compute func(context.Context) ([]byte, erro
 		ctx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
+	ctx, span := obs.Start(ctx, obs.StageCompute)
+	defer span.End()
 
 	c.mu.Lock()
 	cl.cancel = cancel
@@ -496,11 +512,13 @@ func (c *Cache) noteDiskWriteError() {
 // file simply not existing) and integrity-footer mismatches count as
 // disk read errors and degrade to a miss; a corrupt file is deleted so
 // the recompute path rewrites a sealed entry.
-func (c *Cache) diskGet(key string) ([]byte, bool) {
+func (c *Cache) diskGet(ctx context.Context, key string) ([]byte, bool) {
 	path, ok := c.diskPath(key)
 	if !ok {
 		return nil, false
 	}
+	span := obs.StartChild(ctx, obs.StageCacheDisk)
+	defer span.End()
 	if err := failpoint.Inject(nil, FailpointDiskGet); err != nil {
 		c.noteDiskReadError()
 		return nil, false
@@ -533,11 +551,13 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 // filesystems) fail the footer check on read. Write failures keep the
 // entry memory-only and are counted in Stats.DiskWriteErrors: the disk
 // layer is an accelerator, not a store of record.
-func (c *Cache) diskPut(key string, blob []byte) {
+func (c *Cache) diskPut(ctx context.Context, key string, blob []byte) {
 	path, ok := c.diskPath(key)
 	if !ok {
 		return
 	}
+	span := obs.StartChild(ctx, obs.StageCacheDisk)
+	defer span.End()
 	if err := failpoint.Inject(nil, FailpointDiskPut); err != nil {
 		c.noteDiskWriteError()
 		return

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/scalesim"
 )
 
@@ -97,7 +98,9 @@ func RunNetworkOptsCtx(ctx context.Context, npu NPUConfig, net *model.Network, o
 	if err != nil {
 		return nil, err
 	}
+	ssp := obs.StartChild(ctx, obs.StageScalesim)
 	sim, err := arr.SimulateNetwork(net)
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +174,9 @@ func safeRatio(num, den float64) float64 {
 // double-buffers, so within a layer compute and DRAM overlap, but
 // layer boundaries synchronize.
 func runScheme(ctx context.Context, npu NPUConfig, net *model.Network, sim *scalesim.NetworkResult, prot *memprot.Result, opts SuiteOptions) (RunResult, error) {
+	ctx, span := obs.Start(ctx, obs.StageDRAM)
+	span.SetDetail(prot.Scheme.Name())
+	defer span.End()
 	dsim, err := dram.New(npu.DRAMConfig())
 	if err != nil {
 		return RunResult{}, err

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/memprot"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // SuiteResult holds a full Fig. 5/6 sweep for one NPU: every workload
@@ -93,6 +94,17 @@ func RunSuiteOptsCtx(ctx context.Context, npu NPUConfig, nets []*model.Network, 
 // callers see the cancellation rather than an arbitrary workload's
 // wrapped copy of it.
 func runSuiteWith(ctx context.Context, npu NPUConfig, nets []*model.Network, opts SuiteOptions, run func(context.Context, *model.Network) ([]RunResult, error)) (*SuiteResult, error) {
+	ctx, suiteSpan := obs.Start(ctx, obs.StageSuite)
+	suiteSpan.SetDetail(npu.Name)
+	defer suiteSpan.End()
+	inner := run
+	run = func(ctx context.Context, n *model.Network) ([]RunResult, error) {
+		ctx, sp := obs.Start(ctx, obs.StageWorkload)
+		sp.SetDetail(n.Name)
+		defer sp.End()
+		return inner(ctx, n)
+	}
+
 	workers := opts.workers()
 	if workers > len(nets) {
 		workers = len(nets)
