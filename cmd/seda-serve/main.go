@@ -11,11 +11,14 @@
 // concurrent evaluations with 503 once saturated, sweep responses
 // carry a strong ETag derived from the config fingerprint (so
 // If-None-Match revalidation costs microseconds), and SIGINT/SIGTERM
-// drain in-flight requests before exiting.
+// drain in-flight requests before exiting. The implementation lives in
+// internal/serve, shared with the seda-router cluster front-end; this
+// command is the flag-parsing shell.
 //
 // Endpoints:
 //
-//	GET /healthz                   liveness probe
+//	GET /healthz                   liveness probe (build identity)
+//	GET /readyz                    readiness: 503 while draining or saturated
 //	GET /metrics                   cache + request counters (Prometheus text)
 //	GET /v1/workloads              the 13 benchmark workloads
 //	GET /v1/schemes                the protection schemes and their features
@@ -29,13 +32,9 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
-	"net"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,22 +43,9 @@ import (
 	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/rescache"
+	"repro/internal/serve"
 	"repro/seda"
 )
-
-// debugHandler serves the profiling surface bound (only) to
-// -debug-addr: the full net/http/pprof family. It is a separate mux on
-// a separate listener so the serving port never exposes profiling —
-// the debug listener is opt-in and meant to stay on localhost.
-func debugHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8344", "listen address (host:port; port 0 picks a free port)")
@@ -75,7 +61,7 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request evaluation deadline; expiry answers 504 (0 = none, bounded by -write-timeout)")
 	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline in the result cache; a stuck evaluation frees its slot at expiry (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
-	maxExplorePoints := flag.Int("max-explore-points", DefaultMaxExplorePoints, "largest grid /v1/explore accepts (points before validation)")
+	maxExplorePoints := flag.Int("max-explore-points", serve.DefaultMaxExplorePoints, "largest grid /v1/explore accepts (points before validation)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for the pprof profiling surface (empty = disabled; keep it on localhost)")
 	debugAddrFile := flag.String("debug-addr-file", "", "write the actual debug listen address to this file once bound (for -debug-addr with port 0)")
 	version := flag.Bool("version", false, "print build identity and exit")
@@ -118,81 +104,50 @@ func main() {
 		fatal(err)
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
-	}
-	bound := ln.Addr().String()
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
-			fatal(err)
-		}
-	}
-
-	sv := newServer(cache, opts, *requestTimeout)
-	sv.maxExplore = *maxExplorePoints
-	sv.log = logger
+	api := serve.NewAPI(cache, opts, *requestTimeout)
+	api.MaxExplore = *maxExplorePoints
+	api.Log = logger
 	if dir != "" {
 		logger.Info("disk cache enabled", slog.String("dir", dir))
 	}
-	logger.Info("listening",
-		slog.String("addr", bound),
-		slog.String("version", sv.build.ModuleVersion),
-		slog.String("revision", sv.build.Revision),
+
+	srv := serve.NewServer(serve.ServerConfig{
+		Addr:          *addr,
+		AddrFile:      *addrFile,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
+		ShutdownGrace: *shutdownGrace,
+		OnDrain:       func() { api.SetDraining(true) },
+		Log:           logger,
+	})
+	if _, err := srv.Listen(); err != nil {
+		fatal(err)
+	}
+	b := obs.ReadBuild()
+	logger.Info("build",
+		slog.String("version", b.ModuleVersion),
+		slog.String("revision", b.Revision),
 		slog.String("pipeline", seda.PipelineVersion),
-		slog.String("go", sv.build.GoVersion),
+		slog.String("go", b.GoVersion),
 	)
 
 	// The profiling surface gets its own listener and server: profiles
 	// and traces never share a port with (or leak onto) the public API.
 	if *debugAddr != "" {
-		dln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
+		if _, err := serve.ServeDebug(*debugAddr, *debugAddrFile, logger); err != nil {
 			fatal(err)
 		}
-		dbound := dln.Addr().String()
-		if *debugAddrFile != "" {
-			if err := os.WriteFile(*debugAddrFile, []byte(dbound), 0o644); err != nil {
-				fatal(err)
-			}
-		}
-		logger.Info("debug listener (pprof)", slog.String("addr", dbound))
-		dsrv := &http.Server{Handler: debugHandler(), ReadHeaderTimeout: 5 * time.Second}
-		go dsrv.Serve(dln) //nolint:errcheck // best-effort surface, dies with the process
 	}
 
-	srv := &http.Server{
-		Handler:           sv.handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       *readTimeout,
-		WriteTimeout:      *writeTimeout,
-		IdleTimeout:       *idleTimeout,
-	}
-
-	// Serve until a termination signal, then drain: Shutdown stops the
-	// listener immediately and waits for in-flight requests (a running
-	// sweep keeps its slot) up to the grace period.
+	// Serve until a termination signal, then drain: the lifecycle stops
+	// the listener and waits for in-flight requests (a running sweep
+	// keeps its slot) up to the grace period.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errc:
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
-		}
-	case <-ctx.Done():
-		stop() // restore default signal handling: a second signal kills
-		logger.Info("shutting down, draining in-flight requests",
-			slog.Duration("grace", *shutdownGrace))
-		sctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
-		defer cancel()
-		if err := srv.Shutdown(sctx); err != nil {
-			logger.Error("forced exit with requests in flight", slog.Any("err", err))
-			os.Exit(1)
-		}
-		logger.Info("drained")
+	if err := srv.Run(ctx, api.Handler()); err != nil {
+		logger.Error("exit", slog.Any("err", err))
+		os.Exit(1)
 	}
 }
 

@@ -22,13 +22,22 @@
 //	internal/nnexec    reference executor for the benchmark DNN layers
 //	internal/secinfer  end-to-end secure inference over the SeDA unit
 //	internal/rescache  content-addressed result cache (LRU + disk + singleflight)
+//	internal/failpoint named fault-injection sites for the chaos suites
+//	internal/explore   design-space exploration (surrogate-pruned Pareto search)
+//	internal/obs       stage tracing, metrics registry, structured logs, pprof
+//	internal/serve     the HTTP serving stack (API, lifecycle, metrics)
+//	internal/cluster   fault-tolerant routing over a fleet of serve replicas
 //
 // The pipeline is deterministic, so results are memoizable:
 // seda.RunSuiteCached/RunNetworkCached serve rows through
 // internal/rescache keyed by seda.ConfigFingerprint, and the
 // cmd/seda-serve HTTP server ("sweep-as-a-service") exposes the cached
 // sweeps as JSON or CSV with singleflight deduplication of concurrent
-// identical requests.
+// identical requests. cmd/seda-router fronts N such replicas with
+// config-fingerprint-affinity routing (rendezvous hashing over the
+// same cache fingerprints), health-checked failover, per-replica
+// circuit breakers, budgeted retry with backoff and optional hedging,
+// and graceful degradation from a shared disk-cache tier.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see DESIGN.md for the experiment index and

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is the front-door admission controller: requests to the
+// evaluation routes each take one token; the bucket refills at a
+// configured rate up to a burst capacity. An empty bucket rejects with
+// the time until the next token, which the handler turns into a 429 +
+// Retry-After — the router sheds excess demand at the edge instead of
+// queueing it onto the fleet's bounded compute capacity.
+//
+// A nil *tokenBucket admits everything, so the unlimited configuration
+// costs nothing on the request path.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+// newTokenBucket returns nil (admit everything) when rate <= 0. The
+// bucket starts full, so a burst at boot is admitted.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now}
+	tb.last = tb.now()
+	return tb
+}
+
+// take consumes one token if available. When the bucket is empty it
+// reports how long until one token will have accumulated.
+func (tb *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if tb == nil {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	need := (1 - tb.tokens) / tb.rate
+	return false, time.Duration(need * float64(time.Second))
+}

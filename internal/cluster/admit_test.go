@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tb := newTokenBucket(2, 3) // 2 tokens/s, burst 3
+	tb.now = clk.now
+	tb.last = clk.t
+
+	// The burst is admitted, then the bucket is dry.
+	for i := range 3 {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("burst take %d rejected", i)
+		}
+	}
+	ok, retry := tb.take()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry advice %v, want (0, 500ms] at 2 tokens/s", retry)
+	}
+
+	// Refill at the configured rate.
+	clk.advance(time.Second)
+	for i := range 2 {
+		if ok, _ := tb.take(); !ok {
+			t.Fatalf("refilled take %d rejected", i)
+		}
+	}
+	if ok, _ := tb.take(); ok {
+		t.Fatal("bucket over-refilled")
+	}
+
+	// Refill caps at the burst.
+	clk.advance(time.Hour)
+	admitted := 0
+	for range 10 {
+		if ok, _ := tb.take(); ok {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("after a long idle, %d admitted, want burst of 3", admitted)
+	}
+
+	// rate <= 0 means unlimited (nil bucket).
+	if tb := newTokenBucket(0, 5); tb != nil {
+		t.Fatal("rate 0 built a bucket")
+	}
+	var unlimited *tokenBucket
+	if ok, _ := unlimited.take(); !ok {
+		t.Fatal("nil bucket rejected")
+	}
+
+	// burst < 1 clamps to 1.
+	if tb := newTokenBucket(1, 0); tb == nil || tb.burst != 1 {
+		t.Fatalf("burst clamp: %+v", tb)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state machine position, exported
+// on /metrics as seda_router_breaker_state{replica}.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive failures are counted.
+	BreakerClosed BreakerState = 0
+	// BreakerOpen: the replica ate its failure threshold; no traffic
+	// until the cooldown elapses.
+	BreakerOpen BreakerState = 1
+	// BreakerHalfOpen: cooldown elapsed; probe traffic is allowed. One
+	// success closes the breaker, one failure re-opens it for another
+	// cooldown.
+	BreakerHalfOpen BreakerState = 2
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-replica circuit breaker: closed → open after
+// `threshold` consecutive failures, open → half-open once `cooldown`
+// has elapsed (time-driven, so no request needs to be sacrificed to
+// notice the transition), half-open → closed on the first success —
+// which may be a proxied request or the health checker's liveness
+// probe, so a recovered replica rejoins the pool even when affinity
+// sends it no organic traffic — and half-open → open on the first
+// failure. All methods are safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu          sync.Mutex
+	consecutive int
+	openedAt    time.Time
+	open        bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// State reports the current position, deriving half-open from an
+// elapsed cooldown.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *breaker) stateLocked() BreakerState {
+	if !b.open {
+		return BreakerClosed
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return BreakerOpen
+}
+
+// Allow reports whether an attempt may be sent: closed and half-open
+// admit traffic, open does not. Side-effect free, so ranking candidate
+// replicas never consumes probe budget.
+func (b *breaker) Allow() bool { return b.State() != BreakerOpen }
+
+// Success records a successful proxied attempt, closing the breaker
+// from any state: a real request that completed is definitive proof
+// the replica works.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+// ProbeSuccess records a successful health probe. It closes the
+// breaker from half-open (the probe is the trial the half-open state
+// exists to admit) and clears the failure count while closed, but is a
+// no-op while the cooldown is still running: a replica that answers
+// /readyz yet fails real requests must not have its breaker reset
+// every probe interval, or the breaker would never protect anything
+// the health check cannot see.
+func (b *breaker) ProbeSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerHalfOpen:
+		b.open = false
+		b.consecutive = 0
+	case BreakerClosed:
+		b.consecutive = 0
+	}
+}
+
+// Failure records a failed attempt. It reports whether this failure
+// transitioned the breaker into the open state (for the
+// seda_router_breaker_transitions_total counter): crossing the
+// consecutive-failure threshold while closed, or failing the half-open
+// probe, which re-opens for a fresh cooldown.
+func (b *breaker) Failure() (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerHalfOpen:
+		b.openedAt = b.now()
+		return true
+	case BreakerOpen:
+		return false
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}

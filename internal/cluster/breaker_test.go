@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	b := newBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b, clk := newTestBreaker(3, 5*time.Second)
+
+	if got := b.State(); got != BreakerClosed || !b.Allow() {
+		t.Fatalf("fresh breaker: %v allow=%v", got, b.Allow())
+	}
+
+	// Failures below the threshold stay closed; a success resets the run.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	if b.Failure() {
+		t.Fatal("third failure after a reset opened the breaker (consecutive run must restart)")
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("after reset + 1 failure: %v", got)
+	}
+
+	// Threshold consecutive failures open it; exactly the crossing
+	// failure reports the transition.
+	if b.Failure() {
+		t.Fatal("second consecutive failure reported a transition")
+	}
+	if !b.Failure() {
+		t.Fatal("threshold-crossing failure did not report the transition")
+	}
+	if got := b.State(); got != BreakerOpen || b.Allow() {
+		t.Fatalf("opened breaker: %v allow=%v", got, b.Allow())
+	}
+	// Further failures while open are absorbed without re-transition.
+	if b.Failure() {
+		t.Fatal("failure while open reported a transition")
+	}
+
+	// Cooldown elapses: half-open admits traffic without any success.
+	clk.advance(5 * time.Second)
+	if got := b.State(); got != BreakerHalfOpen || !b.Allow() {
+		t.Fatalf("after cooldown: %v allow=%v", got, b.Allow())
+	}
+
+	// Half-open failure re-opens for a fresh cooldown.
+	if !b.Failure() {
+		t.Fatal("half-open failure did not report re-opening")
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after half-open failure: %v", got)
+	}
+	clk.advance(4 * time.Second)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("cooldown must restart on re-open: %v after 4s", got)
+	}
+	clk.advance(time.Second)
+
+	// Half-open success closes.
+	b.Success()
+	if got := b.State(); got != BreakerClosed || !b.Allow() {
+		t.Fatalf("after half-open success: %v allow=%v", got, b.Allow())
+	}
+}
+
+// TestBreakerProbeSuccess pins the probe/request asymmetry: a health
+// probe closes the breaker only from half-open — a replica that
+// answers /readyz but fails real requests must not get its breaker
+// reset every probe interval — while a successful proxied request
+// closes it from any state.
+func TestBreakerProbeSuccess(t *testing.T) {
+	b, clk := newTestBreaker(2, 5*time.Second)
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("setup: %v", got)
+	}
+
+	// Probe success during the cooldown is a no-op.
+	b.ProbeSuccess()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("probe closed a cooling breaker: %v", got)
+	}
+
+	// From half-open the probe is the trial: it closes.
+	clk.advance(5 * time.Second)
+	b.ProbeSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("probe did not close a half-open breaker: %v", got)
+	}
+
+	// While closed, probes clear the consecutive-failure run.
+	b.Failure()
+	b.ProbeSuccess()
+	if b.Failure() {
+		t.Fatal("probe did not reset the failure run")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for want, s := range map[string]BreakerState{
+		"closed": BreakerClosed, "open": BreakerOpen, "half-open": BreakerHalfOpen,
+	} {
+		if got := s.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

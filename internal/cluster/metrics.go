@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/seda"
+)
+
+// routerMetrics is the router's Prometheus registry. Counters are
+// native instruments incremented on the paths they describe; the
+// per-replica gauges (registered per replica with a constant label)
+// are refreshed from replica state on each scrape, so one scrape is
+// internally consistent.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	reqDur *obs.HistogramVec // by route pattern
+
+	reqs               *obs.Counter
+	panics             *obs.Counter
+	attempts           *obs.Counter
+	retries            *obs.Counter
+	failover           *obs.Counter
+	hedges             *obs.Counter
+	hedgeWins          *obs.Counter
+	staleServed        *obs.Counter
+	unserved           *obs.Counter
+	admitRejected      *obs.Counter
+	breakerTransitions *obs.Counter
+
+	runtime *obs.RuntimeGauges
+}
+
+func newRouterMetrics() *routerMetrics {
+	r := obs.NewRegistry()
+	build := obs.ReadBuild()
+	m := &routerMetrics{
+		reg: r,
+		reqDur: r.HistogramVec("seda_router_request_duration_seconds",
+			"router request latency by route (admission to last client byte)", "route", obs.DurationBuckets),
+
+		reqs: r.Counter("seda_router_requests_total",
+			"requests received by the router"),
+		panics: r.Counter("seda_router_panics_total",
+			"router handler panics recovered by the middleware"),
+		attempts: r.Counter("seda_router_attempts_total",
+			"upstream attempts launched (first tries + retries + hedges)"),
+		retries: r.Counter("seda_router_retries_total",
+			"upstream attempts launched because a previous attempt failed"),
+		failover: r.Counter("seda_router_failover_total",
+			"requests answered by a replica other than the first-ranked candidate"),
+		hedges: r.Counter("seda_router_hedges_total",
+			"hedged attempts launched because the first answer was slow"),
+		hedgeWins: r.Counter("seda_router_hedge_wins_total",
+			"requests where the hedged attempt answered first"),
+		staleServed: r.Counter("seda_router_stale_served_total",
+			"requests served stale from the shared cache tier with no replica available"),
+		unserved: r.Counter("seda_router_unserved_total",
+			"requests answered 503 after the retry budget and the stale tier both failed"),
+		admitRejected: r.Counter("seda_router_admission_rejected_total",
+			"requests rejected 429 by token-bucket admission"),
+		breakerTransitions: r.Counter("seda_router_breaker_transitions_total",
+			"circuit-breaker transitions into the open state"),
+
+		runtime: obs.NewRuntimeGauges(r),
+	}
+	r.Gauge("seda_build_info",
+		"build identity; always 1, the labels carry the information",
+		obs.Label{Name: "go_version", Value: build.GoVersion},
+		obs.Label{Name: "module_version", Value: build.ModuleVersion},
+		obs.Label{Name: "revision", Value: build.Revision},
+		obs.Label{Name: "pipeline", Value: seda.PipelineVersion},
+	).Set(1)
+	return m
+}
+
+// registerReplica creates the per-replica series, labelled by replica
+// name. Replica sets are fixed at construction, so the label
+// cardinality is bounded by the -replicas flag.
+func (m *routerMetrics) registerReplica(rep *Replica) {
+	l := obs.Label{Name: "replica", Value: rep.Name}
+	rep.upG = m.reg.Gauge("seda_router_replica_up",
+		"1 when the replica's process was reachable at the last probe or attempt", l)
+	rep.readyG = m.reg.Gauge("seda_router_replica_ready",
+		"1 when the replica's last /readyz probe answered 200", l)
+	rep.inflightG = m.reg.Gauge("seda_router_replica_inflight",
+		"upstream attempts currently outstanding against the replica", l)
+	rep.breakerG = m.reg.Gauge("seda_router_breaker_state",
+		"circuit-breaker state: 0 closed, 1 open, 2 half-open", l)
+}
+
+// mw is the router's per-route middleware: request counting, request
+// IDs, latency histogram under the route pattern, one structured
+// access line, and panic containment (a poisoned request answers 500;
+// the router survives).
+func (rt *Router) mw(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.metrics.reqs.Inc()
+		start := time.Now()
+		rid := requestID(r)
+		w.Header().Set("X-Request-Id", rid)
+		r.Header.Set("X-Request-Id", rid) // attempts forward it upstream
+		sw := &statusWriter{ResponseWriter: w}
+
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel identity, per net/http docs
+					panic(rec)
+				}
+				rt.metrics.panics.Inc()
+				rt.log.LogAttrs(context.Background(), slog.LevelError, "handler panic",
+					slog.String("id", rid),
+					slog.String("route", route),
+					slog.Any("panic", rec),
+				)
+				http.Error(sw, fmt.Sprintf("internal error (request %s)", rid), http.StatusInternalServerError)
+			}
+			d := time.Since(start)
+			rt.metrics.reqDur.With(route).Observe(d.Seconds())
+			rt.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.RequestURI()),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Duration("duration", d),
+			)
+		}()
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			sw.Header().Set("Allow", "GET, HEAD")
+			http.Error(sw, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(sw, r)
+	}
+}
+
+// requestID keeps a caller-provided correlation ID or mints one, so
+// one ID ties together the router access line, the replica access
+// line, and any error body across the hop.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 128 {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Replica is one seda-serve instance behind the router: its base URL,
+// the health state the active checker maintains, the per-replica
+// circuit breaker, and the router's own count of attempts currently
+// outstanding against it (the least-loaded signal).
+type Replica struct {
+	// Name labels the replica everywhere it is visible: metrics
+	// (seda_router_replica_up{replica="..."}), logs, and the
+	// X-Seda-Replica response header. It is the host:port of the URL.
+	Name string
+
+	url     *url.URL
+	breaker *breaker
+
+	alive    atomic.Bool // last probe (or proxied attempt) reached the process
+	ready    atomic.Bool // last /readyz answered 200
+	inflight atomic.Int64
+
+	// Per-replica metric series, registered once with the replica name
+	// as a constant label and updated on each /metrics scrape.
+	upG, readyG, inflightG, breakerG *obs.Gauge
+}
+
+// Ready reports whether the replica's last readiness probe succeeded.
+func (rep *Replica) Ready() bool { return rep.ready.Load() }
+
+// Alive reports whether the replica's process was reachable at the
+// last probe or proxied attempt.
+func (rep *Replica) Alive() bool { return rep.alive.Load() }
+
+// BreakerState exposes the replica's circuit-breaker position.
+func (rep *Replica) BreakerState() BreakerState { return rep.breaker.State() }
+
+// parseReplicaURL accepts "host:port" or a full http(s) base URL.
+func parseReplicaURL(raw string) (*url.URL, error) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return nil, fmt.Errorf("empty replica address")
+	}
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("replica %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("replica %q: scheme must be http or https", raw)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("replica %q: missing host", raw)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	return u, nil
+}
+
+// rendezvousScore is the highest-random-weight (rendezvous) hash of
+// (key, replica): each replica scores every key independently, the
+// highest score owns the key. Adding or removing a replica only moves
+// the keys that replica owned or now wins — every other key keeps its
+// home, which is exactly the property that keeps per-replica rescache
+// working sets stable across fleet resizes.
+func rendezvousScore(key, name string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// rank orders the eligible replicas for one request:
+//
+//   - Replicas whose breaker is open are excluded outright (the
+//     breaker's cooldown, not per-request probing, decides when they
+//     get traffic again).
+//   - Ready replicas come before alive-but-not-ready ones (saturated
+//     or draining replicas still accept cache hits, so they remain a
+//     last resort within the fleet, ahead of the stale tier).
+//   - Within the ready tier, the affinity key's rendezvous winner goes
+//     first; the remaining candidates — the failover order — are
+//     sorted least-loaded first (ties broken by rendezvous score), so
+//     when the affinity home is down, retries spread by load instead
+//     of dogpiling a second fixed home.
+//   - With no affinity key (catalog routes), the whole tier is
+//     least-loaded first.
+//
+// The returned slice is freshly allocated; callers may not mutate the
+// pool through it.
+func (rt *Router) rank(key string) []*Replica {
+	var ready, notReady []*Replica
+	for _, rep := range rt.replicas {
+		if !rep.breaker.Allow() {
+			continue
+		}
+		if rep.Ready() {
+			ready = append(ready, rep)
+		} else {
+			notReady = append(notReady, rep)
+		}
+	}
+	orderTier(ready, key)
+	orderTier(notReady, key)
+	return append(ready, notReady...)
+}
+
+func orderTier(reps []*Replica, key string) {
+	if len(reps) < 2 {
+		return
+	}
+	if key == "" {
+		leastLoaded(reps, nil)
+		return
+	}
+	scores := make(map[*Replica]uint64, len(reps))
+	for _, rep := range reps {
+		scores[rep] = rendezvousScore(key, rep.Name)
+	}
+	sort.SliceStable(reps, func(i, j int) bool {
+		si, sj := scores[reps[i]], scores[reps[j]]
+		if si != sj {
+			return si > sj
+		}
+		return reps[i].Name < reps[j].Name
+	})
+	// The affinity home stays first; the failover tail is least-loaded.
+	leastLoaded(reps[1:], scores)
+}
+
+func leastLoaded(reps []*Replica, scores map[*Replica]uint64) {
+	loads := make(map[*Replica]int64, len(reps))
+	for _, rep := range reps {
+		loads[rep] = rep.inflight.Load()
+	}
+	sort.SliceStable(reps, func(i, j int) bool {
+		li, lj := loads[reps[i]], loads[reps[j]]
+		if li != lj {
+			return li < lj
+		}
+		if scores != nil {
+			si, sj := scores[reps[i]], scores[reps[j]]
+			if si != sj {
+				return si > sj
+			}
+		}
+		return reps[i].Name < reps[j].Name
+	})
+}

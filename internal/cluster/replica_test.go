@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testRouter(t *testing.T, names ...string) *Router {
+	t.Helper()
+	rt, err := New(Options{Replicas: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestParseReplicaURL(t *testing.T) {
+	for raw, wantHost := range map[string]string{
+		"localhost:8441":         "localhost:8441",
+		"http://10.0.0.1:8441":   "10.0.0.1:8441",
+		"https://replica.x:443/": "replica.x:443",
+		" host:1 ":               "host:1",
+	} {
+		u, err := parseReplicaURL(raw)
+		if err != nil || u.Host != wantHost {
+			t.Fatalf("parseReplicaURL(%q) = %v, %v; want host %q", raw, u, err, wantHost)
+		}
+	}
+	for _, raw := range []string{"", "ftp://x:1", "http://"} {
+		if _, err := parseReplicaURL(raw); err == nil {
+			t.Fatalf("parseReplicaURL(%q) accepted", raw)
+		}
+	}
+	if _, err := New(Options{Replicas: []string{"a:1", "a:1"}}); err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// TestRendezvousDeterministicAndBalanced: the same key always ranks
+// the same replica first, and a large key population spreads over the
+// fleet (no replica starves or hogs).
+func TestRendezvousDeterministicAndBalanced(t *testing.T) {
+	rt := testRouter(t, "a:1", "b:1", "c:1")
+	owners := make(map[string]int)
+	for i := range 3000 {
+		key := fmt.Sprintf("key-%04d", i)
+		first := rt.rank(key)[0].Name
+		if again := rt.rank(key)[0].Name; again != first {
+			t.Fatalf("key %q: first choice flapped %s → %s", key, first, again)
+		}
+		owners[first]++
+	}
+	for name, n := range owners {
+		if n < 3000/3/2 || n > 3000*2/3 {
+			t.Fatalf("replica %s owns %d/3000 keys, want roughly balanced: %v", name, n, owners)
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption: removing one replica reassigns only
+// the keys it owned; every other key keeps its home. This is the
+// property that keeps per-replica cache working sets stable across
+// fleet resizes.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	full := testRouter(t, "a:1", "b:1", "c:1")
+	smaller := testRouter(t, "a:1", "b:1")
+	moved := 0
+	for i := range 2000 {
+		key := fmt.Sprintf("key-%04d", i)
+		before := full.rank(key)[0].Name
+		after := smaller.rank(key)[0].Name
+		if before == "c:1" {
+			continue // its keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed replica changed homes", moved)
+	}
+}
+
+// TestRankTiers: open breakers are excluded, not-ready replicas sort
+// after ready ones, and the failover tail within a tier is least-
+// loaded first while the affinity home stays first.
+func TestRankTiers(t *testing.T) {
+	rt := testRouter(t, "a:1", "b:1", "c:1", "d:1")
+	byName := make(map[string]*Replica)
+	for _, rep := range rt.replicas {
+		byName[rep.Name] = rep
+	}
+
+	key := "some-affinity-key"
+	base := rt.rank(key)
+	if len(base) != 4 {
+		t.Fatalf("rank returned %d candidates, want 4", len(base))
+	}
+	home := base[0]
+
+	// Load the second-ranked candidate heavily: it must sink to the end
+	// of the failover tail, while the home keeps its slot.
+	second := base[1]
+	second.inflight.Store(100)
+	got := rt.rank(key)
+	if got[0] != home {
+		t.Fatalf("affinity home displaced by load: %s → %s", home.Name, got[0].Name)
+	}
+	if got[len(got)-1] != second {
+		t.Fatalf("loaded candidate %s not last in the failover tail: %v", second.Name, names(got))
+	}
+	second.inflight.Store(0)
+
+	// A not-ready replica drops behind every ready one, even the home.
+	home.ready.Store(false)
+	got = rt.rank(key)
+	if got[len(got)-1] != home || len(got) != 4 {
+		t.Fatalf("not-ready home not demoted to the fallback tier: %v", names(got))
+	}
+	home.ready.Store(true)
+
+	// An open breaker excludes the replica outright.
+	for range 10 {
+		byName["b:1"].breaker.Failure()
+	}
+	got = rt.rank(key)
+	if len(got) != 3 {
+		t.Fatalf("open-breaker replica still ranked: %v", names(got))
+	}
+	for _, rep := range got {
+		if rep.Name == "b:1" {
+			t.Fatalf("open-breaker replica present: %v", names(got))
+		}
+	}
+
+	// No affinity key: pure least-loaded order.
+	byName["d:1"].inflight.Store(5)
+	byName["a:1"].inflight.Store(1)
+	got = rt.rank("")
+	if got[len(got)-1].Name != "d:1" {
+		t.Fatalf("least-loaded order wrong: %v", names(got))
+	}
+}
+
+func names(reps []*Replica) []string {
+	out := make([]string, len(reps))
+	for i, rep := range reps {
+		out[i] = rep.Name
+	}
+	return out
+}

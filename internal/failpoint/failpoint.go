@@ -18,6 +18,15 @@
 //	panic(msg)     panic with msg
 //	corrupt        flip a byte in the site's payload (Corrupt sites)
 //
+// Any spec may carry a probability modifier, p*spec with p in (0, 1]:
+//
+//	0.3*error(boom)   fire on ~30% of passes, no-op otherwise
+//
+// so chaos suites can model partial and flaky failures, not just
+// deterministic ones. Sampling draws from a package-level source that
+// tests can pin with SeedSampling for reproducible runs; a sampled-out
+// pass does not count as a trigger.
+//
 // Arbitrary behavior — notably cancel-at-point, where reaching the
 // site cancels the request under test — is armed with EnableFunc: the
 // callback receives the site's context and may do anything, including
@@ -32,7 +41,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +75,7 @@ type point struct {
 	act      action
 	msg      string
 	dur      time.Duration
+	prob     float64 // (0, 1]; 1 = always fire
 	fn       func(context.Context) error
 	triggers atomic.Uint64
 }
@@ -74,7 +86,29 @@ var (
 	armed  atomic.Int32
 	mu     sync.RWMutex
 	points = make(map[string]*point)
+
+	// rng drives probability-modified specs. Guarded by its own mutex so
+	// sampling never contends with point lookups.
+	rngMu sync.Mutex
+	rng   = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
 )
+
+// SeedSampling pins the source behind probability-modified specs so a
+// chaos run's fault sequence is reproducible. Tests call it with a
+// fixed seed; production leaves the default (randomly seeded) source.
+func SeedSampling(seed uint64) {
+	rngMu.Lock()
+	rng = rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	rngMu.Unlock()
+}
+
+// sample reports whether a pass through a p-modified site fires.
+func sample(p float64) bool {
+	rngMu.Lock()
+	ok := rng.Float64() < p
+	rngMu.Unlock()
+	return ok
+}
 
 // Enable arms the named failpoint with a spec (see the package
 // comment for the grammar). Re-enabling replaces the previous action.
@@ -95,7 +129,7 @@ func Enable(name, spec string) error {
 // callback runs at the site with the site's context; a non-nil return
 // is injected as the site's failure.
 func EnableFunc(name string, fn func(context.Context) error) {
-	install(name, &point{act: actFunc, fn: fn})
+	install(name, &point{act: actFunc, prob: 1, fn: fn})
 }
 
 func install(name string, p *point) {
@@ -189,6 +223,9 @@ func Inject(ctx context.Context, name string) error {
 	if p == nil {
 		return nil
 	}
+	if p.prob < 1 && !sample(p.prob) {
+		return nil
+	}
 	p.triggers.Add(1)
 	if ctx == nil {
 		ctx = context.Background()
@@ -235,6 +272,9 @@ func Corrupt(name string, blob []byte) []byte {
 	if p == nil || p.act != actCorrupt {
 		return blob
 	}
+	if p.prob < 1 && !sample(p.prob) {
+		return blob
+	}
 	p.triggers.Add(1)
 	if len(blob) == 0 {
 		return []byte{0xff}
@@ -245,12 +285,28 @@ func Corrupt(name string, blob []byte) []byte {
 	return out
 }
 
-// parse turns a spec string into a point; "off" parses to nil.
+// parse turns a spec string into a point; "off" parses to nil. A
+// leading "<p>*" (with p in (0, 1]) is the probability modifier; it
+// is recognized only before the verb, so message arguments may contain
+// '*' freely.
 func parse(spec string) (*point, error) {
+	full := spec
+	prob := 1.0
+	if star := strings.IndexByte(spec, '*'); star >= 0 {
+		if paren := strings.IndexByte(spec, '('); paren < 0 || star < paren {
+			raw := spec[:star]
+			p, err := strconv.ParseFloat(raw, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("probability %q in spec %q must be a number in (0, 1]", raw, full)
+			}
+			prob = p
+			spec = spec[star+1:]
+		}
+	}
 	verb, arg := spec, ""
 	if i := strings.IndexByte(spec, '('); i >= 0 {
 		if !strings.HasSuffix(spec, ")") {
-			return nil, fmt.Errorf("malformed spec %q", spec)
+			return nil, fmt.Errorf("malformed spec %q", full)
 		}
 		verb, arg = spec[:i], spec[i+1:len(spec)-1]
 	}
@@ -258,17 +314,17 @@ func parse(spec string) (*point, error) {
 	case "off":
 		return nil, nil
 	case "error":
-		return &point{act: actError, msg: arg}, nil
+		return &point{act: actError, msg: arg, prob: prob}, nil
 	case "sleep":
 		d, err := time.ParseDuration(arg)
 		if err != nil {
-			return nil, fmt.Errorf("sleep spec %q: %w", spec, err)
+			return nil, fmt.Errorf("sleep spec %q: %w", full, err)
 		}
-		return &point{act: actSleep, dur: d}, nil
+		return &point{act: actSleep, dur: d, prob: prob}, nil
 	case "panic":
-		return &point{act: actPanic, msg: arg}, nil
+		return &point{act: actPanic, msg: arg, prob: prob}, nil
 	case "corrupt":
-		return &point{act: actCorrupt}, nil
+		return &point{act: actCorrupt, prob: prob}, nil
 	}
-	return nil, fmt.Errorf("unknown spec %q (want off, error[(msg)], sleep(dur), panic[(msg)] or corrupt)", spec)
+	return nil, fmt.Errorf("unknown spec %q (want off, error[(msg)], sleep(dur), panic[(msg)] or corrupt, optionally p*spec)", full)
 }

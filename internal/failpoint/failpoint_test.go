@@ -184,3 +184,99 @@ func TestLoadEnv(t *testing.T) {
 		t.Fatal("malformed env accepted")
 	}
 }
+
+func TestProbabilityParse(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"0.3*error", "1*error(boom)", "0.5*sleep(1ms)", "0.01*panic", "0.9*corrupt", "0.2*off"} {
+		if err := Enable("p", spec); err != nil {
+			t.Errorf("spec %q: unexpected parse error: %v", spec, err)
+		}
+		Disable("p")
+	}
+	for _, spec := range []string{"0*error", "-0.5*error", "1.1*error", "x*error", "*error", "0.5*explode"} {
+		if err := Enable("p", spec); err == nil {
+			t.Errorf("spec %q: expected parse error", spec)
+			Disable("p")
+		}
+	}
+	// '*' inside a message argument is not a modifier.
+	if err := Enable("p", "error(a*b)"); err != nil {
+		t.Fatalf("star in message rejected: %v", err)
+	}
+	if err := Inject(nil, "p"); err == nil || !strings.Contains(err.Error(), "a*b") {
+		t.Fatalf("message with star not preserved: %v", err)
+	}
+}
+
+func TestProbabilitySampling(t *testing.T) {
+	defer Reset()
+	if err := Enable("p", "0.3*error(flaky)"); err != nil {
+		t.Fatal(err)
+	}
+	SeedSampling(1)
+	const n = 10_000
+	fired := 0
+	for range n {
+		if err := Inject(nil, "p"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			fired++
+		}
+	}
+	// Binomial(10k, 0.3): ±5 percentage points is > 10 sigma.
+	if fired < n*25/100 || fired > n*35/100 {
+		t.Fatalf("p=0.3 fired %d/%d times", fired, n)
+	}
+	if got := Triggers("p"); got != uint64(fired) {
+		t.Fatalf("triggers %d, want %d (sampled-out passes must not count)", got, fired)
+	}
+
+	// Same seed, same site: the exact fault sequence replays.
+	sequence := func() []bool {
+		SeedSampling(42)
+		seq := make([]bool, 200)
+		for i := range seq {
+			seq[i] = Inject(nil, "p") != nil
+		}
+		return seq
+	}
+	a, b := sequence(), sequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sequences diverge at pass %d", i)
+		}
+	}
+
+	// p=1 is exactly the unmodified behavior: every pass fires.
+	if err := Enable("p", "1*error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range 50 {
+		if err := Inject(nil, "p"); err == nil {
+			t.Fatalf("p=1 pass %d did not fire", i)
+		}
+	}
+}
+
+func TestProbabilityCorrupt(t *testing.T) {
+	defer Reset()
+	if err := Enable("c", "0.5*corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	SeedSampling(7)
+	blob := []byte("payload-payload-payload")
+	changed := 0
+	const n = 2000
+	for range n {
+		if !bytes.Equal(Corrupt("c", blob), blob) {
+			changed++
+		}
+	}
+	if changed < n*42/100 || changed > n*58/100 {
+		t.Fatalf("p=0.5 corrupt changed %d/%d payloads", changed, n)
+	}
+	if got := Triggers("c"); got != uint64(changed) {
+		t.Fatalf("triggers %d, want %d", got, changed)
+	}
+}

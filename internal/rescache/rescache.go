@@ -58,6 +58,13 @@ import (
 // 503 with Retry-After.
 var ErrSaturated = errors.New("rescache: compute capacity saturated")
 
+// ErrCacheOnly is returned by GetOrCompute on a cache-only instance
+// (Options.CacheOnly) when the key is in neither the memory nor the
+// disk layer. A cache-only instance never evaluates: it is the
+// degraded-serving tier of a cluster front-end, answering only what
+// some replica already published to the shared disk directory.
+var ErrCacheOnly = errors.New("rescache: miss on cache-only instance")
+
 // ErrComputePanic is wrapped by the error every waiter receives when a
 // computation panics. The panic is recovered on the compute goroutine,
 // so the process survives and the compute slot is released.
@@ -117,6 +124,12 @@ type Options struct {
 	// unwinds and frees its compute slot instead of occupying it
 	// forever; waiters receive context.DeadlineExceeded.
 	ComputeTimeout time.Duration
+	// CacheOnly makes the instance read-only with respect to
+	// evaluation: lookups consult memory and disk, but a full miss
+	// returns ErrCacheOnly instead of computing. This is the router's
+	// graceful-degradation tier — a second Cache on a replica's Dir
+	// that can serve published results while every replica is down.
+	CacheOnly bool
 }
 
 // Stats is a point-in-time snapshot of cache activity.
@@ -156,6 +169,7 @@ type Cache struct {
 	maxEntries     int
 	dir            string
 	computeTimeout time.Duration
+	cacheOnly      bool
 	sem            chan struct{} // compute slots; nil = unlimited
 
 	mu       sync.Mutex
@@ -206,6 +220,7 @@ func New(opts Options) (*Cache, error) {
 		maxEntries:     opts.MaxEntries,
 		dir:            opts.Dir,
 		computeTimeout: opts.ComputeTimeout,
+		cacheOnly:      opts.CacheOnly,
 		ll:             list.New(),
 		entries:        make(map[string]*list.Element),
 		inflight:       make(map[string]*call),
@@ -338,6 +353,11 @@ func (c *Cache) wait(ctx context.Context, cl *call, leader bool) ([]byte, bool, 
 func (c *Cache) lead(octx context.Context, key string, cl *call, compute func(context.Context) ([]byte, error)) {
 	if diskBlob, ok := c.diskGet(octx, key); ok {
 		cl.blob, cl.fromDisk = diskBlob, true
+	} else if c.cacheOnly {
+		// A cache-only instance answers only what is already published;
+		// a full miss is a defined outcome, not a failure, and consumes
+		// no compute slot.
+		cl.err = ErrCacheOnly
 	} else if c.sem != nil {
 		select {
 		case c.sem <- struct{}{}:
@@ -362,6 +382,9 @@ func (c *Cache) lead(octx context.Context, key string, cl *call, compute func(co
 	switch {
 	case errors.Is(cl.err, ErrSaturated):
 		c.stats.Shed++
+	case errors.Is(cl.err, ErrCacheOnly):
+		// Neither an error nor a shed: a cache-only miss is the
+		// instance doing exactly its job.
 	case cl.err != nil:
 		c.stats.Errors++
 		if errors.Is(cl.err, ErrComputePanic) {

@@ -1,4 +1,16 @@
-package main
+// Package serve is the reusable HTTP-serving framework shared by the
+// seda-serve replica and the seda-router cluster front-end: the API
+// surface over the cached evaluation pipeline (sweep, explore, catalog
+// and health endpoints), the per-route middleware (request IDs, timing
+// spans, latency histograms, panic recovery, structured access logs),
+// the error→status mapping, and the listener lifecycle (bind,
+// addr-file publication, signal-drained shutdown).
+//
+// cmd/seda-serve is a thin flag-parsing shell over this package;
+// cmd/seda-router reuses the same API type in cache-only mode as its
+// graceful-degradation tier and the lifecycle for its own listener, so
+// both processes share one hardened implementation.
+package serve
 
 import (
 	"bytes"
@@ -10,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -37,20 +50,21 @@ const FailpointSweep = "serve.sweep"
 // coalesce onto one pipeline evaluation inside the cache's singleflight
 // layer, and distinct ones beyond the cache's bounded compute capacity
 // are shed with 503 (rescache.ErrSaturated).
-type server struct {
+type API struct {
 	cache      *rescache.Cache
 	opts       seda.SuiteOptions
 	reqTimeout time.Duration // per-request deadline; 0 = none
-	maxExplore int           // /v1/explore grid-size cap; 0 = DefaultMaxExplorePoints
+	MaxExplore int           // /v1/explore grid-size cap; 0 = DefaultMaxExplorePoints
 	reqs       atomic.Uint64
 	panics     atomic.Uint64 // handler panics recovered by the middleware
+	draining   atomic.Bool   // set once shutdown begins; /readyz reports 503
 
 	build   obs.Build
 	metrics *serverMetrics
-	log     *slog.Logger // never nil; newServer defaults to discard
+	Log     *slog.Logger // never nil; newServer defaults to discard
 }
 
-func newServer(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Duration) *server {
+func NewAPI(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Duration) *API {
 	// One sweep fans its workloads over a worker pool, and every
 	// uncached workload's evaluation takes one of the cache's bounded
 	// compute slots. Clamp the pool to the slot count so a single cold
@@ -63,19 +77,26 @@ func newServer(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Du
 		}
 	}
 	build := obs.ReadBuild()
-	return &server{
+	return &API{
 		cache:      cache,
 		opts:       opts,
 		reqTimeout: reqTimeout,
 		build:      build,
 		metrics:    newServerMetrics(build),
-		log:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		Log:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
 	}
 }
 
-func (s *server) handler() http.Handler {
+// SetDraining flips the readiness surface: once draining, /readyz
+// answers 503 so a routing tier stops sending new work, while /healthz
+// stays 200 — the process is alive and finishing in-flight requests.
+// The lifecycle (Server.Run) calls this when shutdown begins.
+func (s *API) SetDraining(v bool) { s.draining.Store(v) }
+
+func (s *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.get("/healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.get("/readyz", s.handleReadyz))
 	mux.HandleFunc("/metrics", s.get("/metrics", s.handleMetrics))
 	mux.HandleFunc("/v1/workloads", s.get("/v1/workloads", s.handleWorkloads))
 	mux.HandleFunc("/v1/schemes", s.get("/v1/schemes", s.handleSchemes))
@@ -96,7 +117,7 @@ func (s *server) handler() http.Handler {
 // counted in seda_panics_total — so one poisoned request cannot take
 // the server down. http.ErrAbortHandler is re-panicked: it is
 // net/http's own "abort this response" signal, not a defect.
-func (s *server) get(route string, h http.HandlerFunc) http.HandlerFunc {
+func (s *API) get(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
 		start := time.Now()
@@ -128,7 +149,7 @@ func (s *server) get(route string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			d := time.Since(start)
 			s.metrics.reqDur.With(route).Observe(d.Seconds())
-			s.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			s.Log.LogAttrs(context.Background(), slog.LevelInfo, "request",
 				slog.String("id", rid),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.RequestURI()),
@@ -144,7 +165,7 @@ func (s *server) get(route string, h http.HandlerFunc) http.HandlerFunc {
 					panic(rec)
 				}
 				s.panics.Add(1)
-				s.log.LogAttrs(context.Background(), slog.LevelError, "handler panic",
+				s.Log.LogAttrs(context.Background(), slog.LevelError, "handler panic",
 					slog.String("id", rid),
 					slog.String("route", route),
 					slog.Any("panic", rec),
@@ -174,7 +195,7 @@ func (s *server) get(route string, h http.HandlerFunc) http.HandlerFunc {
 // one curl tells an operator what is running: module version, VCS
 // revision, pipeline version (the cache-fingerprint epoch), and the Go
 // toolchain.
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *API) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, struct {
 		Status   string `json:"status"`
 		Version  string `json:"version"`
@@ -190,12 +211,57 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, split from /healthz liveness: a
+// replica can be alive (healthz 200) yet unable to take on new work.
+// It reports 503 while the server is draining after SIGTERM, and 503
+// with a pressure-scaled Retry-After while every bounded compute slot
+// is occupied — a routing tier that watches /readyz sees saturation
+// before requests shed, instead of discovering it one 503 at a time.
+// A saturated replica still serves cache hits and revalidations, so
+// "not ready" steers new cold work away without taking the replica out.
+func (s *API) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	type readyJSON struct {
+		Status   string `json:"status"`
+		Inflight int    `json:"inflight"`
+		Slots    int    `json:"slots"` // 0 = unbounded
+	}
+	st := s.cache.Stats()
+	slots := s.cache.ComputeSlots()
+	doc := readyJSON{Status: "ready", Inflight: st.Inflight, Slots: slots}
+	switch {
+	case s.draining.Load():
+		doc.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(doc) //nolint:errcheck
+	case slots > 0 && st.Inflight >= slots:
+		doc.Status = "saturated"
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(st.Inflight)))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(doc) //nolint:errcheck
+	default:
+		writeJSON(w, doc)
+	}
+}
+
+// retryAfterSeconds turns queue pressure into backoff advice: the base
+// grows with the number of in-flight evaluations (deeper queue, longer
+// wait until a slot plausibly frees) and a uniform jitter of up to the
+// base is added so a fleet of clients shed in the same instant —
+// e.g. a router failing a whole replica's traffic over — does not
+// retry in lockstep and re-saturate the capacity on the same tick.
+func retryAfterSeconds(inflight int) int {
+	base := 1 + inflight
+	return base + rand.IntN(base+1)
+}
+
 // handleMetrics exposes the registry in the Prometheus text format.
 // State owned outside the registry — the request/panic counters and
 // the cache statistics — is mirrored in from exactly one Stats
 // snapshot per scrape, so every seda_cache_* series in one scrape
 // describes the same instant.
-func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.cache.Stats()
 	m := s.metrics
 	m.httpReqs.Set(s.reqs.Load())
@@ -214,7 +280,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.reg.WriteProm(w) //nolint:errcheck // client gone mid-stream
 }
 
-func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+func (s *API) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	type workloadJSON struct {
 		Name   string `json:"name"`
 		Full   string `json:"full"`
@@ -229,7 +295,7 @@ func (s *server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, out)
 }
 
-func (s *server) handleSchemes(w http.ResponseWriter, _ *http.Request) {
+func (s *API) handleSchemes(w http.ResponseWriter, _ *http.Request) {
 	type schemeJSON struct {
 		Name                  string `json:"name"`
 		Baseline              bool   `json:"baseline"`
@@ -280,35 +346,11 @@ var figures = map[string]struct {
 //     are reused, only the rest evaluate.
 //   - The body is CSV when the request asks for it (Accept: text/csv
 //     or ?format=csv), JSON otherwise.
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+func (s *API) handleSweep(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 
 	figName := q.Get("fig")
-	npuName := q.Get("npu")
-	if figName == "" && npuName == "" {
-		badRequest(w, "missing npu (server or edge) or fig (5a, 5b, 6a or 6b)")
-		return
-	}
-	if figName != "" {
-		fig, ok := figures[figName]
-		if !ok {
-			badRequest(w, "unknown fig %q (want 5a, 5b, 6a or 6b)", figName)
-			return
-		}
-		if npuName == "" {
-			npuName = fig.npu
-		} else if !strings.EqualFold(npuName, fig.npu) {
-			badRequest(w, "fig %s is the %s NPU, but npu=%q was requested", figName, fig.npu, npuName)
-			return
-		}
-	}
-	npu, err := seda.NPUByName(npuName)
-	if err != nil {
-		badRequest(w, "%v", err)
-		return
-	}
-
-	nets, err := parseWorkloads(q.Get("workloads"))
+	npu, nets, err := ResolveSweep(figName, q.Get("npu"), q.Get("workloads"))
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -363,24 +405,64 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ResolveSweep resolves the /v1/sweep selection parameters to a
+// platform and workload set: fig implies the NPU (and must agree with
+// an explicit npu), and workloads optionally restricts the suite. It
+// is exported because the router derives its fingerprint-affinity key
+// from the same resolution — both sides must agree on what a sweep
+// request denotes, or affinity would split cache-identical requests
+// across replicas.
+func ResolveSweep(figName, npuName, workloads string) (seda.NPUConfig, []*model.Network, error) {
+	if figName == "" && npuName == "" {
+		return seda.NPUConfig{}, nil, errors.New("missing npu (server or edge) or fig (5a, 5b, 6a or 6b)")
+	}
+	if figName != "" {
+		fig, ok := figures[figName]
+		if !ok {
+			return seda.NPUConfig{}, nil, fmt.Errorf("unknown fig %q (want 5a, 5b, 6a or 6b)", figName)
+		}
+		if npuName == "" {
+			npuName = fig.npu
+		} else if !strings.EqualFold(npuName, fig.npu) {
+			return seda.NPUConfig{}, nil, fmt.Errorf("fig %s is the %s NPU, but npu=%q was requested", figName, fig.npu, npuName)
+		}
+	}
+	npu, err := seda.NPUByName(npuName)
+	if err != nil {
+		return seda.NPUConfig{}, nil, err
+	}
+	nets, err := ParseWorkloads(workloads)
+	if err != nil {
+		return seda.NPUConfig{}, nil, err
+	}
+	return npu, nets, nil
+}
+
 // sweepError maps an evaluation failure to its HTTP shape:
 //
-//   - rescache.ErrSaturated → 503 + Retry-After: the bounded compute
-//     capacity is fully occupied by other evaluations (hits and
-//     coalesced identical requests never consume a slot). Shed instead
-//     of queueing; whatever this sweep did manage to evaluate is
-//     cached, so a retry makes progress.
+//   - rescache.ErrSaturated → 503 + pressure-scaled Retry-After: the
+//     bounded compute capacity is fully occupied by other evaluations
+//     (hits and coalesced identical requests never consume a slot).
+//     Shed instead of queueing; whatever this sweep did manage to
+//     evaluate is cached, so a retry makes progress. The Retry-After
+//     value grows with the in-flight queue depth and carries jitter,
+//     so a fleet of shed clients does not retry in lockstep.
+//   - rescache.ErrCacheOnly → 503: this instance serves only already-
+//     cached results (the router's degraded tier) and the result is
+//     not in the shared cache.
 //   - context.DeadlineExceeded → 504: the request deadline
 //     (-request-timeout) or a compute deadline expired mid-evaluation.
 //   - context.Canceled → nothing: the client disconnected (r.Context()
 //     cancelled), so there is no one to answer; the evaluation has
 //     already detached and freed its slot.
 //   - anything else → 500.
-func (s *server) sweepError(w http.ResponseWriter, r *http.Request, err error) {
+func (s *API) sweepError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, rescache.ErrSaturated):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cache.Stats().Inflight)))
 		http.Error(w, "evaluation capacity saturated, retry shortly", http.StatusServiceUnavailable)
+	case errors.Is(err, rescache.ErrCacheOnly):
+		http.Error(w, "result not in the shared cache (cache-only instance)", http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "evaluation deadline exceeded", http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
@@ -465,6 +547,21 @@ func sweepETag(npu seda.NPUConfig, nets []*model.Network, figName string, csvOut
 		fmt.Fprintln(h, seda.ConfigFingerprint(npu, n))
 	}
 	return `"` + hex.EncodeToString(h.Sum(nil)[:16]) + `"`
+}
+
+// SweepAffinityKey is the cluster-routing affinity key for a resolved
+// sweep: a hash over the per-workload config fingerprints only —
+// deliberately excluding the figure and body format, which are
+// different views over the same cache entries — so every
+// representation of one (NPU, workloads) configuration rendezvous-
+// hashes onto the same replica and finds its rescache warm.
+func SweepAffinityKey(npu seda.NPUConfig, nets []*model.Network) string {
+	h := sha256.New()
+	fmt.Fprintln(h, "sweep-affinity")
+	for _, n := range nets {
+		fmt.Fprintln(h, seda.ConfigFingerprint(npu, n))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // inmMatches reports whether an If-None-Match header matches the

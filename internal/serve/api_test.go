@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -25,7 +25,7 @@ func testHandler(t *testing.T) (http.Handler, *rescache.Cache) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(cache, seda.DefaultSuiteOptions(), 0).handler(), cache
+	return NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler(), cache
 }
 
 func doReq(t *testing.T, h http.Handler, url string, hdr map[string]string) *httptest.ResponseRecorder {
@@ -406,7 +406,7 @@ func TestServerOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(cache, seda.DefaultSuiteOptions(), 0).handler())
+	srv := httptest.NewServer(NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler())
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -503,7 +503,7 @@ func TestSweepShedsWhenSaturated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(cache, seda.DefaultSuiteOptions(), 0).handler()
+	h := NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler()
 
 	held := make(chan struct{})
 	begun := make(chan struct{})
@@ -552,7 +552,7 @@ func TestColdSweepDoesNotSelfShed(t *testing.T) {
 	}
 	opts := seda.DefaultSuiteOptions()
 	opts.Workers = 8 // deliberately above the single compute slot
-	h := newServer(cache, opts, 0).handler()
+	h := NewAPI(cache, opts, 0).Handler()
 
 	rec := doReq(t, h, "/v1/sweep?fig=5b&workloads=let,ncf", nil)
 	if rec.Code != http.StatusOK {

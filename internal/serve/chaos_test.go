@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"context"
@@ -103,7 +103,7 @@ func TestChaosRequestTimeout504(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(cache, seda.DefaultSuiteOptions(), 30*time.Millisecond).handler()
+	h := NewAPI(cache, seda.DefaultSuiteOptions(), 30*time.Millisecond).Handler()
 	if err := failpoint.Enable(rescache.FailpointCompute, "sleep(30s)"); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestChaosRequestTimeout504(t *testing.T) {
 	// recovery request goes through an untimed handler on the same cache
 	// so a legitimate slow evaluation doesn't trip the 30ms limit.
 	failpoint.Reset()
-	h2 := newServer(cache, seda.DefaultSuiteOptions(), 0).handler()
+	h2 := NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler()
 	if rec := doReq(t, h2, "/v1/sweep?fig=5b&workloads=ncf", nil); rec.Code != http.StatusOK {
 		t.Fatalf("slot not recovered: status %d", rec.Code)
 	}
@@ -137,7 +137,7 @@ func TestChaosClientDisconnectFreesSlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(cache, seda.DefaultSuiteOptions(), 0).handler())
+	srv := httptest.NewServer(NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler())
 	defer srv.Close()
 	if err := failpoint.Enable(rescache.FailpointCompute, "sleep(30s)"); err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestChaosDiskFaultsStillServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newServer(cache, seda.DefaultSuiteOptions(), 0).handler()
+	h := NewAPI(cache, seda.DefaultSuiteOptions(), 0).Handler()
 	if err := failpoint.Enable(rescache.FailpointDiskGet, "error"); err != nil {
 		t.Fatal(err)
 	}

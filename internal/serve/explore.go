@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"crypto/sha256"
@@ -43,7 +43,7 @@ const DefaultMaxExplorePoints = 2048
 //	    (default: derived from the calibration error).
 //	  - The body is CSV when the request asks for it (Accept: text/csv or
 //	    ?format=csv), JSON otherwise.
-func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
+func (s *API) handleExplore(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 
 	rawSpec := q.Get("spec")
@@ -56,7 +56,7 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	maxPoints := s.maxExplore
+	maxPoints := s.MaxExplore
 	if maxPoints <= 0 {
 		maxPoints = DefaultMaxExplorePoints
 	}
@@ -86,7 +86,7 @@ func (s *server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	nets, err := parseWorkloads(q.Get("workloads"))
+	nets, err := ParseWorkloads(q.Get("workloads"))
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -165,10 +165,24 @@ func exploreETag(spec *explore.Spec, base seda.NPUConfig, nets []*model.Network,
 	return `"` + hex.EncodeToString(h.Sum(nil)[:16]) + `"`
 }
 
-// parseWorkloads resolves a comma-separated workload list against the
+// ExploreAffinityKey is the cluster-routing affinity key for an
+// exploration: like the ETag it binds the canonical spec, base
+// fingerprints, scheme and margin, but not the body format — CSV and
+// JSON views of one exploration share a replica's warm confirmations.
+func ExploreAffinityKey(spec *explore.Spec, base seda.NPUConfig, nets []*model.Network, scheme memprot.Scheme, margin float64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "explore-affinity|spec=%s|scheme=%s|margin=%s\n",
+		spec.Canonical(), scheme.Name(), strconv.FormatFloat(margin, 'x', -1, 64))
+	for _, n := range nets {
+		fmt.Fprintln(h, seda.ConfigFingerprint(base, n))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// ParseWorkloads resolves a comma-separated workload list against the
 // benchmark suite (case handled by model.ByName); empty selects the
 // full suite.
-func parseWorkloads(raw string) ([]*model.Network, error) {
+func ParseWorkloads(raw string) ([]*model.Network, error) {
 	if raw == "" {
 		return model.All(), nil
 	}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -126,9 +126,9 @@ func TestExploreEndpointBadRequests(t *testing.T) {
 // grid the server no longer accepts).
 func TestExploreEndpointGridCap(t *testing.T) {
 	_, cache := testHandler(t)
-	sv := newServer(cache, seda.DefaultSuiteOptions(), 0)
-	sv.maxExplore = 2
-	rec := doReq(t, sv.handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let", nil)
+	sv := NewAPI(cache, seda.DefaultSuiteOptions(), 0)
+	sv.MaxExplore = 2
+	rec := doReq(t, sv.Handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let", nil)
 	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "limit 2") {
 		t.Fatalf("got %d %q, want 400 with grid-size rejection", rec.Code, rec.Body.String())
 	}
@@ -138,7 +138,7 @@ func TestExploreEndpointGridCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nets, err := parseWorkloads("let")
+	nets, err := ParseWorkloads("let")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +147,7 @@ func TestExploreEndpointGridCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	etag := exploreETag(spec, base, nets, memprot.SchemeSeDA, 0, false)
-	rec = doReq(t, sv.handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let",
+	rec = doReq(t, sv.Handler(), "/v1/explore?spec=channels%3D1%7C2%7C4&workloads=let",
 		map[string]string{"If-None-Match": etag})
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("revalidation under lowered cap: got %d, want 400", rec.Code)

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -98,7 +98,7 @@ func newServerMetrics(build obs.Build) *serverMetrics {
 // request lands in the per-stage histogram, and compute spans (cold
 // pipeline evaluations inside the result cache) additionally feed the
 // dedicated compute histogram the capacity alerts watch.
-func (s *server) observeStage(name string, d time.Duration) {
+func (s *API) observeStage(name string, d time.Duration) {
 	s.metrics.stageDur.With(name).Observe(d.Seconds())
 	if name == obs.StageCompute {
 		s.metrics.computeDur.Observe(d.Seconds())

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -50,9 +50,9 @@ func TestRequestIDPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var logBuf bytes.Buffer
-	sv := newServer(cache, seda.DefaultSuiteOptions(), 0)
-	sv.log = slog.New(slog.NewJSONHandler(&logBuf, nil))
-	h := sv.handler()
+	sv := NewAPI(cache, seda.DefaultSuiteOptions(), 0)
+	sv.Log = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	h := sv.Handler()
 
 	if err := failpoint.Enable(FailpointSweep, "panic(chaos)"); err != nil {
 		t.Fatal(err)
@@ -171,7 +171,7 @@ func TestTimingModePanicAnswersClean500(t *testing.T) {
 // TestDebugHandlerServesPprof: the -debug-addr mux answers the pprof
 // index and a concrete profile.
 func TestDebugHandlerServesPprof(t *testing.T) {
-	h := debugHandler()
+	h := DebugHandler()
 	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1"} {
 		rec := doReq(t, h, path, nil)
 		if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
