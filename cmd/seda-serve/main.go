@@ -62,6 +62,7 @@ func main() {
 	computeTimeout := flag.Duration("compute-timeout", 10*time.Minute, "per-computation deadline in the result cache; a stuck evaluation frees its slot at expiry (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "how long SIGINT/SIGTERM waits for in-flight requests before forcing exit")
 	maxExplorePoints := flag.Int("max-explore-points", serve.DefaultMaxExplorePoints, "largest grid /v1/explore accepts (points before validation)")
+	jitterSeed := flag.Uint64("jitter-seed", 0, "seed for the Retry-After jitter so shed/readiness advice replays exactly (0 = random; set it for reproducible load-generator runs)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for the pprof profiling surface (empty = disabled; keep it on localhost)")
 	debugAddrFile := flag.String("debug-addr-file", "", "write the actual debug listen address to this file once bound (for -debug-addr with port 0)")
 	version := flag.Bool("version", false, "print build identity and exit")
@@ -107,6 +108,9 @@ func main() {
 	api := serve.NewAPI(cache, opts, *requestTimeout)
 	api.MaxExplore = *maxExplorePoints
 	api.Log = logger
+	if *jitterSeed != 0 {
+		api.SeedJitter(*jitterSeed)
+	}
 	if dir != "" {
 		logger.Info("disk cache enabled", slog.String("dir", dir))
 	}

@@ -27,6 +27,7 @@
 //	internal/obs       stage tracing, metrics registry, structured logs, pprof
 //	internal/serve     the HTTP serving stack (API, lifecycle, metrics)
 //	internal/cluster   fault-tolerant routing over a fleet of serve replicas
+//	internal/loadgen   deterministic traffic scenarios + capacity search
 //
 // The pipeline is deterministic, so results are memoizable:
 // seda.RunSuiteCached/RunNetworkCached serve rows through
@@ -38,6 +39,9 @@
 // same cache fingerprints), health-checked failover, per-replica
 // circuit breakers, budgeted retry with backoff and optional hedging,
 // and graceful degradation from a shared disk-cache tier.
+// cmd/seda-loadgen measures what the stack sustains: deterministic
+// scenario replay, coordinated-omission-corrected latency, and an SLO
+// capacity search recorded in BENCH_SERVE.json.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation; see DESIGN.md for the experiment index and

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// truncServer serves responses whose body dies after the headers: it
+// declares a Content-Length it never delivers, flushes the partial
+// prefix so the status line is on the wire, then aborts the
+// connection. The router has already committed to this replica when
+// the failure shows up — exactly the window response buffering exists
+// to cover.
+func truncServer(t *testing.T, declared, written int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", fmt.Sprint(declared))
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(strings.Repeat("x", written))) //nolint:errcheck
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// bigBodyServer answers 200 with an n-byte body.
+func bigBodyServer(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("b", n))) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func routerFor(t *testing.T, opts Options, addrs ...string) *Router {
+	t.Helper()
+	opts.Replicas = addrs
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestAttemptMidBodyReadError: the replica dies after the status line
+// — headers arrived, the body did not. attempt must surface a mid-body
+// error (not a truncated success) and charge the replica's breaker.
+func TestAttemptMidBodyReadError(t *testing.T) {
+	srv := truncServer(t, 1000, 10)
+	rt := routerFor(t, Options{BreakerThreshold: 1, BreakerCooldown: time.Minute},
+		strings.TrimPrefix(srv.URL, "http://"))
+	rep := rt.Replicas()[0]
+
+	req := httptest.NewRequest(http.MethodGet, sweepURL, nil)
+	resp, err := rt.attempt(context.Background(), req, rep)
+	if err == nil {
+		t.Fatalf("truncated body must not buffer into a success: %+v", resp)
+	}
+	if !strings.Contains(err.Error(), "mid-body") {
+		t.Fatalf("error should name the mid-body window: %v", err)
+	}
+	if rep.BreakerState() != BreakerOpen {
+		t.Fatalf("mid-body death must feed the breaker; state %v", rep.BreakerState())
+	}
+}
+
+// TestAttemptOversizedBody: a body past MaxBodyBytes is refused before
+// it is relayed (the router buffers responses, so the cap is the only
+// thing standing between a misbehaving replica and unbounded memory),
+// and the replica is charged as failing.
+func TestAttemptOversizedBody(t *testing.T) {
+	srv := bigBodyServer(t, 4096)
+	rt := routerFor(t, Options{MaxBodyBytes: 1024, BreakerThreshold: 1, BreakerCooldown: time.Minute},
+		strings.TrimPrefix(srv.URL, "http://"))
+	rep := rt.Replicas()[0]
+
+	req := httptest.NewRequest(http.MethodGet, sweepURL, nil)
+	resp, err := rt.attempt(context.Background(), req, rep)
+	if err == nil {
+		t.Fatalf("oversized body must not be relayed: %+v", resp)
+	}
+	if !strings.Contains(err.Error(), "body exceeds 1024 bytes") {
+		t.Fatalf("error should name the cap: %v", err)
+	}
+	if rep.BreakerState() != BreakerOpen {
+		t.Fatalf("oversize must feed the breaker; state %v", rep.BreakerState())
+	}
+}
+
+// TestAttemptBodyAtLimit: a body exactly at MaxBodyBytes passes — the
+// cap is inclusive, and the +1 read window must not misclassify it.
+func TestAttemptBodyAtLimit(t *testing.T) {
+	srv := bigBodyServer(t, 1024)
+	rt := routerFor(t, Options{MaxBodyBytes: 1024},
+		strings.TrimPrefix(srv.URL, "http://"))
+	rep := rt.Replicas()[0]
+
+	req := httptest.NewRequest(http.MethodGet, sweepURL, nil)
+	resp, err := rt.attempt(context.Background(), req, rep)
+	if err != nil {
+		t.Fatalf("at-limit body rejected: %v", err)
+	}
+	if len(resp.body) != 1024 {
+		t.Fatalf("buffered %d bytes, want 1024", len(resp.body))
+	}
+}
+
+// TestForwardMidBodyFailover: with one truncating replica and one
+// healthy one, the client sees a complete 200 from the survivor and
+// the failover counter moves — the buffering turned a mid-body death
+// into a retryable event invisible to the client.
+func TestForwardMidBodyFailover(t *testing.T) {
+	bad := truncServer(t, 1000, 10)
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"from":"good"}`)
+	}))
+	t.Cleanup(good.Close)
+	badAddr := strings.TrimPrefix(bad.URL, "http://")
+	goodAddr := strings.TrimPrefix(good.URL, "http://")
+	rt := routerFor(t, Options{RetryBudget: 4, BackoffBase: time.Millisecond}, badAddr, goodAddr)
+	h := rt.Handler()
+
+	// Drive distinct affinity keys until one homes on the truncating
+	// replica and fails over (a key may home on the good replica
+	// directly; 16 independent keys make missing the bad one ~1/65536).
+	sawFailover := false
+	for _, wl := range []string{"let", "ncf", "sent", "let,ncf", "let,sent", "ncf,sent", "let,ncf,sent", ""} {
+		for _, fig := range []string{"5b", "6b"} {
+			url := "/v1/sweep?fig=" + fig
+			if wl != "" {
+				url += "&workloads=" + wl
+			}
+			rec := get(t, h, url, nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s: %d %q", url, rec.Code, rec.Body.String())
+			}
+			if rec.Body.String() != `{"from":"good"}` {
+				t.Fatalf("client saw truncated or foreign bytes: %q", rec.Body.String())
+			}
+			if rec.Header().Get("X-Seda-Replica") != goodAddr {
+				t.Fatalf("served by %q, want the healthy replica", rec.Header().Get("X-Seda-Replica"))
+			}
+			if counterValue(t, scrape(t, h), "seda_router_failover_total") > 0 {
+				sawFailover = true
+				break
+			}
+		}
+		if sawFailover {
+			break
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no failover recorded despite a truncating replica in the fleet")
+	}
+}

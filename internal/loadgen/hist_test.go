@@ -1,0 +1,106 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestHistQuantileBoundedError pins the histogram's accuracy contract:
+// a reported quantile never understates the true one and overstates it
+// by at most one bucket (~9.05%).
+func TestHistQuantileBoundedError(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var h Hist
+	var samples []time.Duration
+	for i := 0; i < 10000; i++ {
+		// Log-uniform over 10µs .. 1s: exercises many octaves.
+		d := time.Duration(float64(10*time.Microsecond) * math.Pow(1e5, rng.Float64()))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sortDur(samples)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q%v: reported %s understates exact %s", q, got, exact)
+		}
+		if ratio := float64(got) / float64(exact); ratio > 1.10 {
+			t.Fatalf("q%v: reported %s overstates exact %s by %.1f%%", q, got, exact, (ratio-1)*100)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("q1 %s != max %s", h.Quantile(1), h.Max())
+	}
+}
+
+func sortDur(d []time.Duration) { slices.Sort(d) }
+
+func TestHistMergeAndMean(t *testing.T) {
+	var a, b, whole Hist
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Millisecond
+		whole.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: count %d/%d mean %s/%s max %s/%s",
+			a.Count(), whole.Count(), a.Mean(), whole.Mean(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%v: merged %s vs whole %s", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+	if whole.Mean() != 50500*time.Microsecond {
+		t.Fatalf("mean %s, want 50.5ms exactly", whole.Mean())
+	}
+}
+
+func TestHistEdges(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	if h.Quantile(0.99) > time.Microsecond {
+		t.Fatalf("sub-microsecond observations land in bucket 0, got %s", h.Quantile(0.99))
+	}
+	h.Observe(24 * time.Hour) // beyond full scale: clamped to top bucket
+	if h.Max() != 24*time.Hour {
+		t.Fatalf("max must stay exact: %s", h.Max())
+	}
+	if h.Quantile(1) != 24*time.Hour {
+		t.Fatalf("q1 %s", h.Quantile(1))
+	}
+	// Quantile caps at the observed max even when the top bucket's
+	// bound overshoots it.
+	if q := h.Quantile(0.99); q > 24*time.Hour {
+		t.Fatalf("quantile overshot max: %s", q)
+	}
+}
+
+func TestBucketMonotonic(t *testing.T) {
+	for i := 1; i < histBuckets; i++ {
+		if bucketBound(i) <= bucketBound(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d: %s <= %s", i, bucketBound(i), bucketBound(i-1))
+		}
+	}
+	// A value placed in bucket i must satisfy bound(i-1) < v <= ~bound(i).
+	for _, d := range []time.Duration{time.Microsecond, 5 * time.Microsecond, time.Millisecond, 17 * time.Millisecond, time.Second, 90 * time.Second} {
+		i := bucketIndex(d)
+		if i > 0 && bucketBound(i-1) > d {
+			t.Fatalf("%s placed in bucket %d but lower bound is %s", d, i, bucketBound(i-1))
+		}
+	}
+}

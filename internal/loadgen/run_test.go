@@ -1,0 +1,305 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rescache"
+	"repro/internal/serve"
+	"repro/seda"
+)
+
+// testServer boots a real serving stack (serve.API over a fresh
+// in-memory cache) — the harness's integration tests go through the
+// same HTTP surface production traffic does.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache, err := rescache.New(rescache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := serve.NewAPI(cache, seda.DefaultSuiteOptions(), 0)
+	api.SeedJitter(1)
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// warmColdScenario: a cold counted phase computes the configs, a warm
+// counted phase replays them with revalidation.
+func warmColdScenario(t *testing.T) *Scenario {
+	t.Helper()
+	doc := `{
+	  "name": "warm-rerun",
+	  "phases": [
+	    {"name": "cold", "mode": "closed", "clients": 2, "requests": 6,
+	     "mix": [{"kind": "sweep", "figs": ["5b"], "workloads": ["let,ncf"]}]},
+	    {"name": "warm", "mode": "closed", "clients": 4, "requests": 40,
+	     "mix": [{"kind": "sweep", "figs": ["5b"], "workloads": ["let,ncf"], "csv": 0.25, "revalidate": 0.6}]}
+	  ]
+	}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRunWarmRerunInvariants is the harness-as-integration-test core:
+// after a cold phase computes a config, the warm phase must be served
+// entirely from cache (fresh computes = 0), revalidation must answer
+// 304 under load, no request may error, and every 200 body for a URL
+// must be byte-identical.
+func TestRunWarmRerunInvariants(t *testing.T) {
+	srv := testServer(t)
+	rep, err := Run(context.Background(), RunOptions{
+		Scenario: warmColdScenario(t),
+		Seed:     11,
+		Target:   srv.URL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Totals.Status.Errors(); got != 0 {
+		t.Fatalf("client-visible errors: %d (%+v)", got, rep.Totals.Status)
+	}
+	if rep.Totals.Status.Total() != 46 {
+		t.Fatalf("completed %d requests, want 46", rep.Totals.Status.Total())
+	}
+	if len(rep.Phases) != 2 {
+		t.Fatalf("phases: %d", len(rep.Phases))
+	}
+	cold, warm := rep.Phases[0], rep.Phases[1]
+	if cold.MetricsDelta["seda_cache_misses_total"] == 0 {
+		t.Fatalf("cold phase computed nothing: %+v", cold.MetricsDelta)
+	}
+	if d := warm.MetricsDelta["seda_cache_misses_total"]; d != 0 {
+		t.Fatalf("warm rerun ran %v fresh computes, want 0 (deltas %+v)", d, warm.MetricsDelta)
+	}
+	if warm.MetricsDelta["seda_cache_hits_total"] == 0 {
+		t.Fatalf("warm phase shows no cache hits: %+v", warm.MetricsDelta)
+	}
+	if warm.Status.NotModified == 0 {
+		t.Fatalf("revalidation never answered 304: %+v", warm.Status)
+	}
+	if warm.BodyDivergence != 0 || cold.BodyDivergence != 0 {
+		t.Fatalf("body divergence: cold=%d warm=%d", cold.BodyDivergence, warm.BodyDivergence)
+	}
+	if warm.AchievedRPS <= 0 || warm.Latency.P99 <= 0 || warm.Latency.Count == 0 {
+		t.Fatalf("warm measurements empty: %+v", warm.Latency)
+	}
+	if rep.ScheduleDigest == "" || rep.ScheduleDigest != warmColdScenario(t).ScheduleDigest(11) {
+		t.Fatalf("report digest %q does not name the replayed schedule", rep.ScheduleDigest)
+	}
+}
+
+// TestRunTaxonomy drives the classifier through a scripted server that
+// rotates every status the taxonomy distinguishes.
+func TestRunTaxonomy(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	script := []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) { w.Write([]byte("ok")) }, //nolint:errcheck
+		func(w http.ResponseWriter) {
+			w.Header().Set("X-Seda-Stale", "1")
+			w.Write([]byte("stale-tier")) //nolint:errcheck
+		},
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusNotModified) },
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusTooManyRequests) },
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusServiceUnavailable) },
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusGatewayTimeout) },
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusBadRequest) },
+		func(w http.ResponseWriter) { w.WriteHeader(http.StatusInternalServerError) },
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprint(w, "# HELP x x\n# TYPE x counter\nx 1\n")
+			return
+		}
+		mu.Lock()
+		f := script[n%len(script)]
+		n++
+		mu.Unlock()
+		f(w)
+	}))
+	defer srv.Close()
+
+	doc := `{"name":"taxonomy","phases":[{"name":"p","mode":"closed","clients":1,"requests":16,"mix":[{"kind":"catalog"}]}]}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunOptions{Scenario: sc, Seed: 1, Target: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Totals.Status
+	want := Counts{OK: 2, Stale: 2, NotModified: 2, Rejected: 2, Shed: 2, Timeout: 2, ClientError: 2, ServerError: 2}
+	if st != want {
+		t.Fatalf("taxonomy counts:\n got %+v\nwant %+v", st, want)
+	}
+	if rep.Totals.ShedRate != rate(4, 16) {
+		t.Fatalf("shed rate %v", rep.Totals.ShedRate)
+	}
+	if rep.Totals.StaleRate != rate(2, 16) {
+		t.Fatalf("stale rate %v", rep.Totals.StaleRate)
+	}
+}
+
+// TestRunBodyDivergence: a server that changes its 200 body for the
+// same URL must be caught by the first-seen digest check.
+func TestRunBodyDivergence(t *testing.T) {
+	var mu sync.Mutex
+	n := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			fmt.Fprint(w, "")
+			return
+		}
+		mu.Lock()
+		n++
+		fmt.Fprintf(w, "body-%d", n)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	doc := `{"name":"diverge","phases":[{"name":"p","mode":"closed","clients":1,"requests":6,"mix":[{"kind":"sweep","figs":["5b"],"workloads":["let"]}]}]}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunOptions{Scenario: sc, Seed: 1, Target: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One URL, six 200s with six different bodies: the first sets the
+	// reference, the other five diverge.
+	if rep.Phases[0].BodyDivergence != 5 {
+		t.Fatalf("divergence = %d, want 5", rep.Phases[0].BodyDivergence)
+	}
+	if len(rep.Warnings) == 0 || !strings.Contains(rep.Warnings[len(rep.Warnings)-1], "diverged") {
+		t.Fatalf("warnings missing divergence note: %v", rep.Warnings)
+	}
+	if rep.Totals.Status.OK != 6 {
+		t.Fatalf("divergence must not reclassify 200s: %+v", rep.Totals.Status)
+	}
+}
+
+// TestRunOpenLoopCoordinatedOmission pins the correction: against a
+// serialized target (one request at a time, fixed service time), an
+// open-loop phase must report queueing delay — latency measured from
+// the scheduled arrival grows far beyond the service time.
+func TestRunOpenLoopCoordinatedOmission(t *testing.T) {
+	const service = 20 * time.Millisecond
+	var gate sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			return
+		}
+		gate.Lock()
+		time.Sleep(service)
+		gate.Unlock()
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	defer srv.Close()
+	// Offered 100/s uniform for 400ms = 40 arrivals; the target drains
+	// 50/s, so the queue grows by ~1 request every 20ms.
+	doc := `{"name":"co","phases":[{"name":"p","mode":"open","rate":100,"arrival":"uniform","duration":"400ms","mix":[{"kind":"catalog"}]}]}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunOptions{Scenario: sc, Seed: 1, Target: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Phases[0]
+	if !p.Latency.Corrected {
+		t.Fatal("open-loop phase must be flagged coordinated_omission_corrected")
+	}
+	if p.Status.OK < 30 {
+		t.Fatalf("only %d arrivals completed", p.Status.OK)
+	}
+	maxLat := time.Duration(p.Latency.Max * float64(time.Second))
+	if maxLat < 5*service {
+		t.Fatalf("max latency %s shows no queueing delay (service time %s): the correction is lost", maxLat, service)
+	}
+}
+
+// TestRunOpenLoopInflightCap: when arrivals outpace the inflight cap,
+// the surplus must be counted dropped, not silently queued.
+func TestRunOpenLoopInflightCap(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			return
+		}
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	doc := `{"name":"cap","phases":[{"name":"p","mode":"open","rate":200,"arrival":"uniform","duration":"200ms","mix":[{"kind":"catalog"}]}]}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(context.Background(), RunOptions{
+			Scenario: sc, Seed: 1, Target: srv.URL,
+			MaxInflight: 4, RequestTimeout: 300 * time.Millisecond,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	select {
+	case rep := <-done:
+		if rep == nil {
+			t.Fatal("run failed")
+		}
+		p := rep.Phases[0]
+		if p.Status.Dropped == 0 {
+			t.Fatalf("no arrivals dropped at cap 4: %+v", p.Status)
+		}
+		// The 4 admitted requests hang past their timeout.
+		if p.Status.TransportError == 0 {
+			t.Fatalf("expected timed-out admitted requests: %+v", p.Status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run wedged")
+	}
+}
+
+// TestRunScrapeWarnings: an unscrapable endpoint degrades to a warning
+// (the traffic numbers survive; only the attribution is lost).
+func TestRunScrapeWarnings(t *testing.T) {
+	srv := testServer(t)
+	doc := `{"name":"w","phases":[{"name":"p","mode":"closed","clients":1,"requests":2,"mix":[{"kind":"catalog"}]}]}`
+	sc, err := ParseScenario(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), RunOptions{
+		Scenario: sc, Seed: 1, Target: srv.URL,
+		Scrape: []string{srv.URL, "http://127.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) == 0 || !strings.Contains(rep.Warnings[0], "pre-scrape") {
+		t.Fatalf("warnings: %v", rep.Warnings)
+	}
+	if rep.Phases[0].MetricsDelta != nil {
+		t.Fatal("partial scrape must not report deltas")
+	}
+	if rep.Totals.Status.OK != 2 {
+		t.Fatalf("traffic should still run: %+v", rep.Totals.Status)
+	}
+}

@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SearchOptions configures the step-load SLO search: find the highest
+// open-loop offered rate the target sustains without breaking the p99
+// latency SLO or the shed-rate ceiling (or returning hard errors).
+type SearchOptions struct {
+	// Run carries target/client/scrape settings; its scenario supplies
+	// the warmup phases (every phase runs once before the search) and
+	// the mix template (the last phase's mix is offered at each step).
+	Run RunOptions
+	// SLOP99 is the p99 latency ceiling a step must hold.
+	SLOP99 time.Duration
+	// MaxShedRate is the tolerated (shed+rejected)/total per step.
+	MaxShedRate float64
+	// MinRPS / MaxRPS bound the search. The ramp doubles from MinRPS
+	// until a step fails (or MaxRPS passes), then bisects.
+	MinRPS float64
+	MaxRPS float64
+	// StepDuration is the offered window per step (default 5s).
+	StepDuration time.Duration
+	// Resolution stops the bisection when hi/lo ≤ 1+Resolution
+	// (default 0.1: the answer is within 10%).
+	Resolution float64
+
+	// runStep overrides step execution in unit tests.
+	runStep func(ctx context.Context, rps float64, step int) (*PhaseReport, error)
+}
+
+// SearchStep records one probe of the search trajectory.
+type SearchStep struct {
+	RPS    float64     `json:"rps"`
+	Pass   bool        `json:"pass"`
+	Reason string      `json:"reason,omitempty"` // why the step failed
+	Phase  PhaseReport `json:"phase"`
+}
+
+// SearchReport is the capacity-search outcome embedded in a Report.
+type SearchReport struct {
+	SLO               string       `json:"slo"` // human form, e.g. "p99<=250ms, shed<=1%"
+	MaxSustainableRPS float64      `json:"max_sustainable_rps"`
+	Steps             []SearchStep `json:"steps"`
+}
+
+// Search ramps offered RPS (doubling from MinRPS) until the SLO
+// breaks, then geometrically bisects to the maximum sustainable
+// throughput. The returned report embeds the warmup run's phases plus
+// the search trajectory.
+func Search(ctx context.Context, opts SearchOptions) (*Report, error) {
+	if opts.SLOP99 <= 0 {
+		return nil, fmt.Errorf("loadgen: search needs a p99 SLO > 0")
+	}
+	if opts.MinRPS <= 0 {
+		opts.MinRPS = 5
+	}
+	if opts.MaxRPS <= opts.MinRPS {
+		opts.MaxRPS = opts.MinRPS * 256
+	}
+	if opts.StepDuration <= 0 {
+		opts.StepDuration = 5 * time.Second
+	}
+	if opts.Resolution <= 0 {
+		opts.Resolution = 0.1
+	}
+	if opts.MaxShedRate < 0 || opts.MaxShedRate > 1 {
+		return nil, fmt.Errorf("loadgen: max shed rate %v outside [0, 1]", opts.MaxShedRate)
+	}
+
+	sc := opts.Run.Scenario
+	var rep *Report
+	var template []Mix
+	if opts.runStep == nil {
+		if sc == nil || len(sc.Phases) == 0 {
+			return nil, fmt.Errorf("loadgen: search needs a scenario with at least one phase (the last phase's mix is the step template)")
+		}
+		template = sc.Phases[len(sc.Phases)-1].Mix
+		var err error
+		rep, err = Run(ctx, opts.Run)
+		if err != nil {
+			return nil, fmt.Errorf("warmup run: %w", err)
+		}
+	} else {
+		rep = &Report{LoadgenVersion: ReportVersion, Scenario: "search"}
+	}
+
+	seed := opts.Run.Seed
+	if seed == 0 && sc != nil {
+		seed = sc.Seed
+	}
+	if seed == 0 {
+		seed = 1
+	}
+
+	search := &SearchReport{
+		SLO: fmt.Sprintf("p99<=%s, shed<=%.3g", opts.SLOP99, opts.MaxShedRate),
+	}
+	runStep := opts.runStep
+	if runStep == nil {
+		runStep = func(ctx context.Context, rps float64, step int) (*PhaseReport, error) {
+			return measuredStep(ctx, opts, template, seed, rps, step)
+		}
+	}
+
+	probe := func(rps float64, step int) (bool, error) {
+		pr, err := runStep(ctx, rps, step)
+		if err != nil {
+			return false, err
+		}
+		pass, reason := evalStep(pr, opts)
+		search.Steps = append(search.Steps, SearchStep{RPS: rps, Pass: pass, Reason: reason, Phase: *pr})
+		return pass, nil
+	}
+
+	// Ramp: double from MinRPS to the first failing rate.
+	lo, hi := 0.0, 0.0
+	for rps := opts.MinRPS; ; rps *= 2 {
+		if rps > opts.MaxRPS {
+			rps = opts.MaxRPS
+		}
+		pass, err := probe(rps, len(search.Steps))
+		if err != nil {
+			return nil, err
+		}
+		if pass {
+			lo = rps
+			if rps >= opts.MaxRPS {
+				break // ceiling sustained; answer is the ceiling
+			}
+			continue
+		}
+		hi = rps
+		break
+	}
+
+	// Bisect geometrically between the last pass and the first fail.
+	if hi > 0 {
+		if lo == 0 {
+			// Even MinRPS failed: the sustainable rate is below the
+			// search floor — report 0, the steps say why.
+			search.MaxSustainableRPS = 0
+			rep.Search = search
+			return rep, nil
+		}
+		for hi/lo > 1+opts.Resolution {
+			mid := math.Sqrt(lo * hi)
+			pass, err := probe(mid, len(search.Steps))
+			if err != nil {
+				return nil, err
+			}
+			if pass {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	search.MaxSustainableRPS = math.Round(lo*100) / 100
+	rep.Search = search
+	return rep, nil
+}
+
+// evalStep applies the SLO to one step's measurements.
+func evalStep(pr *PhaseReport, opts SearchOptions) (bool, string) {
+	if n := pr.Status.Errors(); n > 0 {
+		return false, fmt.Sprintf("%d client-visible errors", n)
+	}
+	if pr.ShedRate > opts.MaxShedRate {
+		return false, fmt.Sprintf("shed rate %.4f > %.4f", pr.ShedRate, opts.MaxShedRate)
+	}
+	if p99 := time.Duration(pr.Latency.P99 * float64(time.Second)); p99 > opts.SLOP99 {
+		return false, fmt.Sprintf("p99 %s > %s", p99.Round(time.Microsecond), opts.SLOP99)
+	}
+	if pr.Status.Total() == 0 {
+		return false, "no requests completed"
+	}
+	return true, ""
+}
+
+// measuredStep offers one open-loop step at the given rate. Each step
+// derives its seed from (seed, step index) so steps draw independent
+// but reproducible schedules.
+func measuredStep(ctx context.Context, opts SearchOptions, template []Mix, seed uint64, rps float64, step int) (*PhaseReport, error) {
+	stepScenario := &Scenario{
+		Name: "search-step",
+		Seed: seed + uint64(step)*0x9E3779B97F4A7C15,
+		Phases: []Phase{{
+			Name:     fmt.Sprintf("step-%d", step),
+			Mode:     "open",
+			Rate:     rps,
+			Duration: Duration(opts.StepDuration),
+			Mix:      append([]Mix(nil), template...),
+		}},
+	}
+	if err := stepScenario.validate(); err != nil {
+		return nil, fmt.Errorf("step scenario: %w", err)
+	}
+	ro := opts.Run
+	ro.Scenario = stepScenario
+	ro.Seed = stepScenario.Seed
+	rep, err := Run(ctx, ro)
+	if err != nil {
+		return nil, err
+	}
+	return &rep.Phases[0], nil
+}

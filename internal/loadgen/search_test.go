@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeTarget synthesizes step measurements for a target whose true
+// capacity is capRPS: below it the p99 sits at base latency, above it
+// latency and shed rate blow up.
+func fakeTarget(capRPS float64) func(ctx context.Context, rps float64, step int) (*PhaseReport, error) {
+	return func(ctx context.Context, rps float64, step int) (*PhaseReport, error) {
+		pr := &PhaseReport{
+			Name:       "step",
+			Mode:       "open",
+			OfferedRPS: rps,
+		}
+		pr.Status.OK = uint64(rps * 5)
+		pr.Latency = LatencySummary{Unit: "seconds", Count: pr.Status.OK, P99: 0.020, Corrected: true}
+		if rps > capRPS {
+			pr.Latency.P99 = 1.5
+			pr.Status.Shed = pr.Status.OK / 4
+			pr.ShedRate = rate(pr.Status.Shed, pr.Status.Total())
+		}
+		pr.AchievedRPS = math.Min(rps, capRPS)
+		return pr, nil
+	}
+}
+
+func TestSearchConverges(t *testing.T) {
+	const trueCap = 130.0
+	rep, err := Search(context.Background(), SearchOptions{
+		SLOP99:      250 * time.Millisecond,
+		MaxShedRate: 0.01,
+		MinRPS:      10,
+		MaxRPS:      2000,
+		Resolution:  0.05,
+		runStep:     fakeTarget(trueCap),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Search
+	if s == nil {
+		t.Fatal("no search report")
+	}
+	got := s.MaxSustainableRPS
+	if got > trueCap || got < trueCap/(1+0.05)/1.01 {
+		t.Fatalf("converged to %v, want within 5%% below true capacity %v", got, trueCap)
+	}
+	if len(s.Steps) < 5 {
+		t.Fatalf("suspiciously few steps: %d", len(s.Steps))
+	}
+	// The trajectory must actually bracket: at least one failing step
+	// above the answer, and the failing steps must say why.
+	var failed bool
+	for _, st := range s.Steps {
+		if !st.Pass {
+			failed = true
+			if st.Reason == "" {
+				t.Fatalf("failing step at %v rps has no reason", st.RPS)
+			}
+		}
+	}
+	if !failed {
+		t.Fatal("no failing step recorded despite finite capacity")
+	}
+	if s.SLO != "p99<=250ms, shed<=0.01" {
+		t.Fatalf("slo rendering: %q", s.SLO)
+	}
+}
+
+// TestSearchCeiling: a target that never breaks sustains the ceiling.
+func TestSearchCeiling(t *testing.T) {
+	rep, err := Search(context.Background(), SearchOptions{
+		SLOP99:  time.Second,
+		MinRPS:  10,
+		MaxRPS:  500,
+		runStep: fakeTarget(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Search.MaxSustainableRPS; got != 500 {
+		t.Fatalf("ceiling pass should answer MaxRPS: %v", got)
+	}
+}
+
+// TestSearchFloor: a target already failing at MinRPS answers 0.
+func TestSearchFloor(t *testing.T) {
+	rep, err := Search(context.Background(), SearchOptions{
+		SLOP99:  time.Millisecond, // everything violates 1ms
+		MinRPS:  10,
+		MaxRPS:  500,
+		runStep: fakeTarget(1e9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Search.MaxSustainableRPS; got != 0 {
+		t.Fatalf("floor fail should answer 0: %v", got)
+	}
+	if len(rep.Search.Steps) != 1 {
+		t.Fatalf("floor fail should stop after one step: %d", len(rep.Search.Steps))
+	}
+}
+
+func TestSearchRejectsBadOptions(t *testing.T) {
+	if _, err := Search(context.Background(), SearchOptions{}); err == nil {
+		t.Fatal("missing SLO must be rejected")
+	}
+	if _, err := Search(context.Background(), SearchOptions{SLOP99: time.Second, MaxShedRate: 2, runStep: fakeTarget(1)}); err == nil {
+		t.Fatal("shed rate 2 must be rejected")
+	}
+}
+
+// TestSearchErrorsFailStep: hard client-visible errors fail a step
+// regardless of latency.
+func TestSearchErrorsFailStep(t *testing.T) {
+	rep, err := Search(context.Background(), SearchOptions{
+		SLOP99: time.Second,
+		MinRPS: 10,
+		MaxRPS: 100,
+		runStep: func(ctx context.Context, rps float64, step int) (*PhaseReport, error) {
+			pr := &PhaseReport{Latency: LatencySummary{P99: 0.001}}
+			pr.Status.OK = 50
+			if rps > 20 {
+				pr.Status.ServerError = 3
+			}
+			return pr, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Search.MaxSustainableRPS; got > 20 {
+		t.Fatalf("errors above 20 rps, search answered %v", got)
+	}
+	for _, st := range rep.Search.Steps {
+		if !st.Pass && st.Phase.Status.ServerError > 0 && st.Reason != "3 client-visible errors" {
+			t.Fatalf("reason: %q", st.Reason)
+		}
+	}
+}

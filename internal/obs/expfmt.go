@@ -386,6 +386,27 @@ func LintProm(fams map[string]*PromFamily) []string {
 	return issues
 }
 
+// CounterTotals flattens parsed families to one number per counter
+// family, summing samples across label sets — the shape a load
+// generator or smoke script wants when attributing before/after deltas
+// to traffic (per-replica constant labels and per-route label values
+// collapse into the fleet-wide total). Non-counter families are
+// skipped; histograms are exposed through their own accessors.
+func CounterTotals(fams map[string]*PromFamily) map[string]float64 {
+	totals := make(map[string]float64)
+	for name, fam := range fams {
+		if fam.Type != "counter" {
+			continue
+		}
+		sum := 0.0
+		for _, s := range fam.Samples {
+			sum += s.Value
+		}
+		totals[name] = sum
+	}
+	return totals
+}
+
 // Sample returns the sample of family fam whose labels exactly match
 // want (nil matches the unlabeled series), or false.
 func (fam *PromFamily) Sample(name string, want map[string]string) (PromSample, bool) {

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,14 @@ type API struct {
 	panics     atomic.Uint64 // handler panics recovered by the middleware
 	draining   atomic.Bool   // set once shutdown begins; /readyz reports 503
 
+	// jitter drives the Retry-After randomness on /readyz and shed
+	// responses. It is a per-API seedable source (SeedJitter) instead of
+	// the global rand so load-generator runs and the readiness tests can
+	// pin the exact advice sequence; a mutex guards it because rand.Rand
+	// is not safe for the concurrent handlers.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
 	build   obs.Build
 	metrics *serverMetrics
 	Log     *slog.Logger // never nil; newServer defaults to discard
@@ -84,7 +93,19 @@ func NewAPI(cache *rescache.Cache, opts seda.SuiteOptions, reqTimeout time.Durat
 		build:      build,
 		metrics:    newServerMetrics(build),
 		Log:        slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		jitter:     rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64())),
 	}
+}
+
+// SeedJitter makes the Retry-After jitter deterministic: two APIs
+// seeded identically emit identical advice sequences. Production keeps
+// the random default (lockstep avoidance needs no reproducibility);
+// tests and measured load-generator runs seed it so shed/readiness
+// behavior replays exactly.
+func (s *API) SeedJitter(seed uint64) {
+	s.jitterMu.Lock()
+	defer s.jitterMu.Unlock()
+	s.jitter = rand.New(rand.NewPCG(seed, seed))
 }
 
 // SetDraining flips the readiness surface: once draining, /readyz
@@ -236,7 +257,7 @@ func (s *API) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		json.NewEncoder(w).Encode(doc) //nolint:errcheck
 	case slots > 0 && st.Inflight >= slots:
 		doc.Status = "saturated"
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(st.Inflight)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(st.Inflight)))
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(doc) //nolint:errcheck
@@ -251,9 +272,13 @@ func (s *API) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // base is added so a fleet of clients shed in the same instant —
 // e.g. a router failing a whole replica's traffic over — does not
 // retry in lockstep and re-saturate the capacity on the same tick.
-func retryAfterSeconds(inflight int) int {
+// The jitter draws from the API's seedable source (see SeedJitter).
+func (s *API) retryAfterSeconds(inflight int) int {
 	base := 1 + inflight
-	return base + rand.IntN(base+1)
+	s.jitterMu.Lock()
+	n := s.jitter.IntN(base + 1)
+	s.jitterMu.Unlock()
+	return base + n
 }
 
 // handleMetrics exposes the registry in the Prometheus text format.
@@ -459,7 +484,7 @@ func ResolveSweep(figName, npuName, workloads string) (seda.NPUConfig, []*model.
 func (s *API) sweepError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, rescache.ErrSaturated):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cache.Stats().Inflight)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(s.cache.Stats().Inflight)))
 		http.Error(w, "evaluation capacity saturated, retry shortly", http.StatusServiceUnavailable)
 	case errors.Is(err, rescache.ErrCacheOnly):
 		http.Error(w, "result not in the shared cache (cache-only instance)", http.StatusServiceUnavailable)

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+	"slices"
 	"strconv"
 	"testing"
 
@@ -96,6 +97,11 @@ func TestReadyzSplitFromHealthz(t *testing.T) {
 // jitter, so a fleet's shed clients spread their retries instead of
 // re-saturating the capacity on one tick.
 func TestRetryAfterScalesWithPressure(t *testing.T) {
+	cache, err := rescache.New(rescache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := NewAPI(cache, seda.DefaultSuiteOptions(), 0)
 	for _, tc := range []struct {
 		inflight, lo, hi int
 	}{
@@ -106,7 +112,7 @@ func TestRetryAfterScalesWithPressure(t *testing.T) {
 	} {
 		seen := make(map[int]bool)
 		for range 200 {
-			got := retryAfterSeconds(tc.inflight)
+			got := api.retryAfterSeconds(tc.inflight)
 			if got < tc.lo || got > tc.hi {
 				t.Fatalf("inflight=%d: Retry-After %d outside [%d, %d]", tc.inflight, got, tc.lo, tc.hi)
 			}
@@ -115,5 +121,43 @@ func TestRetryAfterScalesWithPressure(t *testing.T) {
 		if tc.hi > tc.lo && len(seen) < 2 {
 			t.Fatalf("inflight=%d: no jitter observed over 200 draws (all %v)", tc.inflight, seen)
 		}
+	}
+}
+
+// TestRetryAfterSeedReproducible pins the seedable-jitter contract the
+// load-generator harness relies on: two APIs seeded identically emit
+// the same Retry-After sequence, differently seeded ones diverge — the
+// readiness surface replays exactly under a pinned -jitter-seed.
+func TestRetryAfterSeedReproducible(t *testing.T) {
+	newSeeded := func(seed uint64) *API {
+		cache, err := rescache.New(rescache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		api := NewAPI(cache, seda.DefaultSuiteOptions(), 0)
+		api.SeedJitter(seed)
+		return api
+	}
+	draw := func(api *API) []int {
+		out := make([]int, 64)
+		for i := range out {
+			out[i] = api.retryAfterSeconds(i % 7)
+		}
+		return out
+	}
+	a, b, c := draw(newSeeded(42)), draw(newSeeded(42)), draw(newSeeded(43))
+	if !slices.Equal(a, b) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	if slices.Equal(a, c) {
+		t.Fatalf("different seeds produced identical sequences: %v", a)
+	}
+	// Reseeding mid-flight restarts the sequence, so a test can rewind
+	// the advice stream without rebuilding the API.
+	api := newSeeded(42)
+	first := draw(api)
+	api.SeedJitter(42)
+	if again := draw(api); !slices.Equal(first, again) {
+		t.Fatalf("reseed did not rewind the sequence:\n%v\n%v", first, again)
 	}
 }
